@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 10 of the paper: monitoring performance of the
+ * single-core (dual-threaded) system across core microarchitectures —
+ * in-order 1-way, lean OoO 2-way/48-ROB, aggressive OoO 4-way/96-ROB —
+ * for the unaccelerated and FADE-enabled systems, averaged across
+ * benchmarks.
+ *
+ * Paper reference points: unaccelerated monitoring loses 7-51% on
+ * simpler cores relative to 4-way OoO (handlers are cache-friendly,
+ * ILP-rich code that wide cores execute up to 3x faster); FADE-enabled
+ * performance is almost insensitive to the core type (e.g., MemCheck
+ * 1.2x on in-order vs 1.4x on 4-way OoO).
+ */
+
+#include "bench/common.hh"
+
+using namespace fade;
+using namespace fade::bench;
+
+int
+main()
+{
+    header("Fig. 10: slowdown by core type "
+           "(single-core dual-threaded; gmean across benchmarks)");
+
+    std::vector<std::pair<std::string, CoreParams>> cores = {
+        {"4-way OoO", aggressiveOooParams()},
+        {"2-way OoO", leanOooParams()},
+        {"in-order", inOrderParams()},
+    };
+
+    TextTable t;
+    t.header({"monitor", "system", "4-way OoO", "2-way OoO", "in-order"});
+    for (const auto &mon : monitorNames()) {
+        for (bool accel : {false, true}) {
+            std::vector<std::string> row = {
+                mon, accel ? "FADE" : "unaccelerated"};
+            const auto &benches = benchmarksFor(mon);
+            for (const auto &[cname, cparams] : cores) {
+                std::vector<double> xs;
+                for (const auto &b : benches) {
+                    SystemConfig cfg;
+                    cfg.core = cparams;
+                    cfg.accelerated = accel;
+                    Measured m =
+                        measure(cfg, mon, profileFor(mon, b),
+                                measureInsts / 2);
+                    xs.push_back(m.slowdown);
+                }
+                row.push_back(fmtX(geomean(xs)));
+            }
+            t.row(row);
+        }
+    }
+    t.print();
+    std::printf(
+        "\npaper: unaccelerated performance drops 7-51%% on simpler\n"
+        "cores (event handlers run up to 3x faster on the 4-way OoO);\n"
+        "FADE-enabled systems are nearly core-type insensitive, e.g.\n"
+        "MemCheck 1.2x in-order vs 1.4x 4-way OoO.\n");
+    return 0;
+}

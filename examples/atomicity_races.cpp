@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Concurrency scenario: AtomCheck watches a four-thread streamcluster-
+ * like workload for unserializable access interleavings (AVIO-style
+ * atomicity violations). FADE's partial filtering performs the
+ * last-accessor check in hardware: same-thread re-accesses take the
+ * short software path, and only genuine interleavings run the full
+ * serializability analysis.
+ */
+
+#include <cstdio>
+
+#include "monitor/atomcheck.hh"
+#include "system/system.hh"
+#include "trace/profile.hh"
+
+using namespace fade;
+
+int
+main()
+{
+    BenchProfile profile = parallelProfile("streamcluster");
+    AtomCheck monitor;
+
+    SystemConfig cfg;
+    MonitoringSystem system(cfg, profile, &monitor);
+    system.warmup(40000);
+
+    std::printf("running 4 threads over shared centroid tables...\n");
+    RunResult r = system.run(80000);
+
+    const FadeStats &s = system.fade()->stats();
+    std::uint64_t total =
+        monitor.sameThreadAccesses + monitor.firstAccesses +
+        monitor.remoteAccesses;
+    std::printf("  monitored accesses : %llu\n",
+                (unsigned long long)total);
+    std::printf("  same-thread (fast) : %.1f%%  <- hardware check "
+                "passes, short handler\n",
+                100.0 * monitor.sameThreadAccesses / double(total));
+    std::printf("  interleavings      : %.1f%%  <- full analysis "
+                "handler\n",
+                100.0 * monitor.remoteAccesses / double(total));
+    std::printf("  check elision rate : %.1f%%\n",
+                100.0 * s.filteringRatio());
+    std::printf("  app IPC under mon. : %.2f\n", r.appIpc);
+
+    std::size_t organicBefore = monitor.reports().size();
+    std::printf("\ninjecting a read-write-read interleaving on a "
+                "shared word...\n");
+    system.generator().injectBug(truthAtomViolation);
+    system.run(20000);
+
+    std::size_t after = monitor.reports().size();
+    std::printf("violations flagged: %zu organic + %zu after "
+                "injection\n",
+                organicBefore, after - organicBefore);
+    if (after == organicBefore) {
+        std::printf("  !! injected violation missed\n");
+        return 1;
+    }
+    const BugReport &last = monitor.reports().back();
+    std::printf("  example: [%s] word 0x%llx, thread-interleaved "
+                "access at pc=0x%llx\n",
+                last.kind.c_str(), (unsigned long long)last.addr,
+                (unsigned long long)last.pc);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory-leak hunting: MemLeak's reference counting pinpoints the
+ * moment the last reference to an unfreed allocation disappears — long
+ * before program exit. This example runs a gcc-like allocation-heavy
+ * workload, injects three distinct leaks at different times, and shows
+ * each leak being reported with the allocation site.
+ */
+
+#include <cstdio>
+
+#include "monitor/memleak.hh"
+#include "system/system.hh"
+#include "trace/profile.hh"
+
+using namespace fade;
+
+int
+main()
+{
+    BenchProfile profile = specProfile("gcc");
+    MemLeak monitor;
+
+    SystemConfig cfg;
+    MonitoringSystem system(cfg, profile, &monitor);
+    system.warmup(25000);
+
+    std::printf("hunting leaks in a gcc-like workload...\n");
+    std::size_t organic = 0;
+    for (int round = 0; round < 3; ++round) {
+        std::size_t before = monitor.reports().size();
+        system.generator().injectBug(truthLeakDrop);
+        system.run(20000);
+        std::size_t found = monitor.reports().size() - before;
+        std::printf("round %d: injected 1 leak, reports this round: %zu\n",
+                    round + 1, found);
+        organic = monitor.reports().size();
+    }
+
+    std::printf("\nleak reports (%zu total):\n", organic);
+    int shown = 0;
+    for (const auto &r : monitor.reports()) {
+        std::printf("  leak #%d: block at 0x%llx — %s\n", ++shown,
+                    (unsigned long long)r.addr, r.detail.c_str());
+        if (shown >= 8)
+            break;
+    }
+
+    std::printf("\nallocation contexts tracked: %zu, leaks flagged: "
+                "%llu\n",
+                monitor.contexts().size(),
+                (unsigned long long)monitor.leaksDetected());
+    std::printf("hardware filtered %.1f%% of pointer-tracking events\n",
+                100.0 * system.fade()->stats().filteringRatio());
+    return monitor.leaksDetected() >= 3 ? 0 : 1;
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The programmable event table (Fig. 6(b) of the paper). One entry per
+ * event ID holds the filtering rules: per-operand metadata descriptors,
+ * the clean-check (CC) and redundant-update (RU) controls, multi-shot
+ * chaining, the partial-filtering bit, the software handler PC, and the
+ * Non-Blocking critical-metadata update rule. Entries are memory-mapped
+ * and programmed once per monitoring application.
+ */
+
+#ifndef FADE_CORE_EVENT_TABLE_HH
+#define FADE_CORE_EVENT_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Number of event table entries (Section 6: 128 entries). */
+constexpr unsigned eventTableEntries = 128;
+
+/**
+ * Per-operand rule: which operands are evaluated, whether the operand is
+ * the memory operand, how many metadata bytes to fetch, the bit mask to
+ * extract the relevant bits, and the invariant register a clean check
+ * compares against.
+ */
+struct OperandRule
+{
+    bool valid = false;
+    bool mem = false;
+    std::uint8_t mdBytes = 1;
+    std::uint8_t mask = 0xff;
+    std::uint8_t invId = 0;
+};
+
+/**
+ * Redundant-update source composition (Fig. 6(b) "RU" field): with one
+ * source the source metadata is compared directly to the destination
+ * metadata; with two sources they are first composed with OR or AND.
+ */
+enum class RuOp : std::uint8_t
+{
+    None,    ///< entry does not perform an RU check
+    CopyS1,  ///< compare md(s1) to md(d)
+    OrS1S2,  ///< compare md(s1) | md(s2) to md(d)
+    AndS1S2, ///< compare md(s1) & md(s2) to md(d)
+};
+
+/** How a multi-shot entry combines with the previous check's outcome. */
+enum class MsCombine : std::uint8_t
+{
+    Or,  ///< filtered if previous check or this check passes
+    And, ///< filtered only if previous and this check pass
+};
+
+/**
+ * Non-Blocking critical-metadata update actions (Section 5.2, rules
+ * 1-3). Rule 4 (conditional) is expressed by NbRule::conditional below.
+ */
+enum class NbAction : std::uint8_t
+{
+    None,     ///< no hardware update (blocking semantics for this event)
+    CopyS1,   ///< md(d) = md(s1)
+    CopyS2,   ///< md(d) = md(s2)
+    Or,       ///< md(d) = md(s1) | md(s2)
+    And,      ///< md(d) = md(s1) & md(s2)
+    SetConst, ///< md(d) = INV[invId]
+};
+
+/** Comparison selecting between actions in a conditional NB rule. */
+enum class NbCond : std::uint8_t
+{
+    S1EqS2,    ///< md(s1) == md(s2)
+    S1EqD,     ///< md(s1) == md(d)
+    S1EqConst, ///< md(s1) == INV[condInvId]
+    S2EqConst, ///< md(s2) == INV[condInvId]
+};
+
+/**
+ * Non-Blocking update rule attached to an event table entry: the action
+ * applied to the destination's critical metadata when the event turns
+ * out to be unfilterable. Conditional rules (paper rule 4) evaluate
+ * @c cond and pick @c action or @c elseAction.
+ */
+struct NbRule
+{
+    NbAction action = NbAction::None;
+    std::uint8_t invId = 0; ///< INV register for SetConst
+    bool conditional = false;
+    NbCond cond = NbCond::S1EqS2;
+    std::uint8_t condInvId = 0;
+    NbAction elseAction = NbAction::None;
+    std::uint8_t elseInvId = 0;
+};
+
+/**
+ * One 96-bit event table entry (Fig. 6(b)), widened into a convenient
+ * in-memory representation. Exactly one of {cc, ru != None} is used per
+ * entry; complex conditions chain entries via multiShot/nextEntry.
+ *
+ * Partial filtering (P bit): the hardware check never fully filters the
+ * event; instead its outcome selects the software handler. A passing
+ * check dispatches this entry's (short) handlerPc; a failing check
+ * dispatches the (complex) handler PC of the entry at nextEntry. This
+ * reuses the existing nextEntry field, keeping the entry within its
+ * 96-bit budget.
+ */
+struct EventTableEntry
+{
+    bool valid = false;
+
+    OperandRule s1, s2, d;
+
+    /** Clean check: compare each valid operand to INV[op.invId]. */
+    bool cc = false;
+
+    /** Redundant update: compare composed sources to destination. */
+    RuOp ru = RuOp::None;
+
+    /** Multi-shot chaining. */
+    bool multiShot = false;
+    MsCombine msCombine = MsCombine::Or;
+    std::uint8_t nextEntry = 0;
+
+    /** Partial filtering. */
+    bool partial = false;
+
+    /** Software handler dispatched for unfiltered events. */
+    Addr handlerPc = 0;
+
+    /** Non-Blocking critical metadata update rule. */
+    NbRule nb;
+};
+
+/**
+ * The event table: a small SRAM indexed by event ID in the first
+ * pipeline stage.
+ */
+class EventTable
+{
+  public:
+    /** Install an entry (memory-mapped programming interface). */
+    void
+    program(unsigned idx, const EventTableEntry &e)
+    {
+        fatal_if(idx >= eventTableEntries,
+                 "event table index ", idx, " out of range");
+        entries_[idx] = e;
+        entries_[idx].valid = true;
+    }
+
+    /** Invalidate an entry. */
+    void
+    invalidate(unsigned idx)
+    {
+        fatal_if(idx >= eventTableEntries,
+                 "event table index ", idx, " out of range");
+        entries_[idx] = EventTableEntry{};
+    }
+
+    /** Invalidate all entries (per-application reprogramming). */
+    void
+    clear()
+    {
+        entries_.fill(EventTableEntry{});
+    }
+
+    const EventTableEntry &
+    lookup(unsigned idx) const
+    {
+        panic_if(idx >= eventTableEntries,
+                 "event table lookup out of range");
+        return entries_[idx];
+    }
+
+    bool
+    validAt(unsigned idx) const
+    {
+        return idx < eventTableEntries && entries_[idx].valid;
+    }
+
+    /** Number of valid entries (used by the area model). */
+    unsigned
+    population() const
+    {
+        unsigned n = 0;
+        for (const auto &e : entries_)
+            n += e.valid;
+        return n;
+    }
+
+  private:
+    std::array<EventTableEntry, eventTableEntries> entries_{};
+};
+
+} // namespace fade
+
+#endif // FADE_CORE_EVENT_TABLE_HH

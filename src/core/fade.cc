@@ -1,0 +1,397 @@
+#include "core/fade.hh"
+
+namespace fade
+{
+
+Fade::Fade(const FadeParams &p, MonitorContext &ctx, Cache *l2)
+    : params_(p),
+      ctx_(ctx),
+      mdc_(p.mdCache, l2),
+      logic_(inv_),
+      fsq_(p.fsqEntries),
+      suu_(mdc_, ctx.shadow, inv_, p.callInvId, p.retInvId)
+{
+}
+
+void
+Fade::bind(BoundedQueue<MonEvent> *eq, BoundedQueue<UnfilteredEvent> *ueq)
+{
+    eq_ = eq;
+    ueq_ = ueq;
+}
+
+bool
+Fade::pipelineEmpty() const
+{
+    return !etr_.valid && !ctrl_.valid && !mdr_.valid && !filt_.valid &&
+           !mw_.valid;
+}
+
+bool
+Fade::busy() const
+{
+    return !pipelineEmpty() || front_ != FrontState::Normal || blocked_ ||
+           suu_.busy();
+}
+
+bool
+Fade::quiesced() const
+{
+    return !busy() && outstanding_ == 0 && (!eq_ || eq_->empty());
+}
+
+OperandMd
+Fade::gatherMd(const EventTableEntry &e, const MonEvent &ev) const
+{
+    OperandMd md;
+    auto memRead = [&]() -> std::uint8_t {
+        Addr a = mdAddrOf(ev.appAddr);
+        if (params_.nonBlocking) {
+            // Back-to-back dependence: forward from the Metadata Write
+            // latch before it commits to the FSQ (Section 5.2).
+            if (mw_.valid && mw_.nbVal && mw_.nbDestIsMem &&
+                mdAddrOf(mw_.ev.appAddr) == a) {
+                return *mw_.nbVal;
+            }
+            // The FSQ is searched in parallel with the MD cache; a
+            // matching entry satisfies the dependence (Section 5.2).
+            if (auto v = fsq_.lookup(a))
+                return *v;
+        }
+        return ctx_.shadow.read(a);
+    };
+    auto regRead = [&](RegIndex r) -> std::uint8_t {
+        if (params_.nonBlocking && mw_.valid && mw_.nbVal &&
+            !mw_.nbDestIsMem && mw_.ev.tid == ev.tid &&
+            mw_.ev.hasDst && mw_.ev.dst == r) {
+            return *mw_.nbVal;
+        }
+        return ctx_.regMd.read(ev.tid, r);
+    };
+    if (e.s1.valid)
+        md.s1 = e.s1.mem ? memRead() : regRead(ev.src1);
+    if (e.s2.valid)
+        md.s2 = e.s2.mem ? memRead() : regRead(ev.src2);
+    if (e.d.valid)
+        md.d = e.d.mem ? memRead() : regRead(ev.dst);
+    return md;
+}
+
+unsigned
+Fade::mdReadLatency(const EventTableEntry &e, const MonEvent &ev)
+{
+    bool touchesMem = (e.s1.valid && e.s1.mem) ||
+                      (e.s2.valid && e.s2.mem) || (e.d.valid && e.d.mem);
+    if (!touchesMem)
+        return 1;
+    MdAccessResult r = mdc_.accessApp(ev.appAddr, false);
+    return r.latency < 1 ? 1 : r.latency;
+}
+
+void
+Fade::recordSoftwareBound(const MonEvent &ev)
+{
+    (void)ev;
+    stats_.unfDistance.sample(sinceUnfiltered_);
+    if (haveBurst_ && sinceUnfiltered_ <= 16) {
+        ++curBurst_;
+    } else {
+        if (haveBurst_)
+            stats_.unfBurst.sample(curBurst_);
+        curBurst_ = 1;
+        haveBurst_ = true;
+    }
+    sinceUnfiltered_ = 0;
+}
+
+void
+Fade::finalizeBursts()
+{
+    if (haveBurst_) {
+        stats_.unfBurst.sample(curBurst_);
+        haveBurst_ = false;
+        curBurst_ = 0;
+    }
+}
+
+bool
+Fade::advanceMw(Cycle now)
+{
+    (void)now;
+    if (!mw_.valid)
+        return true;
+    if (mw_.nbVal) {
+        if (mw_.nbDestIsMem) {
+            if (fsq_.full()) {
+                ++stats_.stallFsqFull;
+                return false;
+            }
+            fsq_.push(mdAddrOf(mw_.ev.appAddr), *mw_.nbVal, mw_.ev.seq);
+        } else {
+            ctx_.regMd.write(mw_.ev.tid, mw_.ev.dst, *mw_.nbVal);
+        }
+    }
+    mw_.valid = false;
+    return true;
+}
+
+void
+Fade::advanceFilter(Cycle now)
+{
+    (void)now;
+    if (!filt_.valid)
+        return;
+    if (filt_.shotsLeft > 1) {
+        --filt_.shotsLeft;
+        return;
+    }
+
+    const FilterOutcome &out = filt_.out;
+    if (out.filtered) {
+        ++stats_.instEvents;
+        ++stats_.filtered;
+        if (filt_.ev.eventId < numCanonicalEvents)
+            ++stats_.filteredById[filt_.ev.eventId];
+        if (out.ccPassed)
+            ++stats_.filteredCC;
+        else if (out.ruPassed)
+            ++stats_.filteredRU;
+        ++sinceUnfiltered_;
+        filt_.valid = false;
+        return;
+    }
+
+    // Software processing required: forward through the unfiltered
+    // event queue, respecting its backpressure.
+    if (ueq_->full()) {
+        ++stats_.stallUeqFull;
+        return;
+    }
+
+    UnfilteredEvent u;
+    u.ev = filt_.ev;
+    u.handlerPc = out.handlerPc;
+    u.checkPassed = out.checkPassed;
+    u.hwChecked = true;
+    ueq_->push(u);
+    ++outstanding_;
+
+    ++stats_.instEvents;
+    if (filt_.ev.eventId < numCanonicalEvents)
+        ++stats_.softwareById[filt_.ev.eventId];
+    if (out.partial) {
+        if (out.checkPassed)
+            ++stats_.partialPass;
+        else
+            ++stats_.partialFail;
+    } else {
+        ++stats_.unfiltered;
+    }
+    recordSoftwareBound(filt_.ev);
+
+    if (params_.nonBlocking) {
+        const EventTableEntry &e = table_.lookup(filt_.ev.eventId);
+        auto val = computeMdUpdate(e.nb, filt_.md, inv_);
+        if (val) {
+            mw_ = filt_;
+            mw_.nbVal = val;
+            mw_.nbDestIsMem = e.d.valid && e.d.mem;
+            mw_.valid = true;
+        }
+    } else {
+        blocked_ = true;
+        blockedSeq_ = filt_.ev.seq;
+    }
+    filt_.valid = false;
+}
+
+void
+Fade::advanceMdr(Cycle now)
+{
+    if (!mdr_.valid || filt_.valid || now < mdr_.readyAt)
+        return;
+    const EventTableEntry &e = table_.lookup(mdr_.ev.eventId);
+    filt_ = mdr_;
+    // Metadata is (re)gathered on Filter entry: this models the
+    // MW-to-Filter forwarding path for back-to-back dependences.
+    filt_.md = gatherMd(e, filt_.ev);
+    filt_.out = logic_.evaluate(table_, filt_.ev.eventId, filt_.md);
+    filt_.shotsLeft = filt_.out.shots;
+    stats_.shots += filt_.out.shots;
+    stats_.comparisons += filt_.out.blocksUsed;
+    filt_.valid = true;
+    mdr_.valid = false;
+}
+
+void
+Fade::advanceCtrl()
+{
+    if (!ctrl_.valid || mdr_.valid)
+        return;
+    mdr_ = ctrl_;
+    mdr_.valid = true;
+    ctrl_.valid = false;
+}
+
+void
+Fade::advanceEtr()
+{
+    if (!etr_.valid || ctrl_.valid)
+        return;
+    ctrl_ = etr_;
+    ctrl_.valid = true;
+    etr_.valid = false;
+}
+
+void
+Fade::frontEnd(Cycle now)
+{
+    switch (front_) {
+      case FrontState::Normal: {
+        if (!eq_ || eq_->empty())
+            return;
+        const MonEvent &head = eq_->front();
+        if (head.isInst()) {
+            if (etr_.valid)
+                return;
+            fatal_if(!table_.validAt(head.eventId),
+                     "monitored event id ", unsigned(head.eventId),
+                     " has no event table entry");
+            etr_ = PipeSlot{};
+            etr_.ev = eq_->pop();
+            etr_.valid = true;
+        } else if (head.isStackUpdate()) {
+            pendingFront_ = eq_->pop();
+            ++stats_.stackEvents;
+            front_ = FrontState::WaitDrainStack;
+        } else {
+            // High-level event (malloc/free/taint source): handled in
+            // software. Order is preserved against in-flight
+            // instruction events by waiting for the pipe to empty.
+            if (params_.drainOnHighLevel) {
+                pendingFront_ = eq_->pop();
+                front_ = FrontState::WaitDrainHigh;
+                return;
+            }
+            if (!pipelineEmpty()) {
+                ++stats_.stallDrain;
+                return;
+            }
+            if (ueq_->full()) {
+                ++stats_.stallUeqFull;
+                return;
+            }
+            UnfilteredEvent u;
+            u.ev = eq_->pop();
+            ueq_->push(u);
+            ++outstanding_;
+            ++stats_.highLevelEvents;
+            recordSoftwareBound(u.ev);
+        }
+        break;
+      }
+      case FrontState::WaitDrainStack: {
+        // Pending unfiltered events may reference stack-frame metadata:
+        // the unfiltered event queue must be drained (and outstanding
+        // handlers completed) before the SUU runs (Section 5.2).
+        if (!pipelineEmpty() || !ueq_->empty() || outstanding_ > 0) {
+            ++stats_.stallDrain;
+            return;
+        }
+        if (onStackUpdate)
+            onStackUpdate(pendingFront_);
+        suu_.start(pendingFront_.appAddr, pendingFront_.len,
+                   pendingFront_.kind == EventKind::StackCall);
+        front_ = FrontState::SuuActive;
+        (void)now;
+        break;
+      }
+      case FrontState::WaitDrainHigh: {
+        if (!pipelineEmpty() || !ueq_->empty() || outstanding_ > 0) {
+            ++stats_.stallDrain;
+            return;
+        }
+        UnfilteredEvent u;
+        u.ev = pendingFront_;
+        ueq_->push(u);
+        ++outstanding_;
+        ++stats_.highLevelEvents;
+        recordSoftwareBound(u.ev);
+        front_ = FrontState::WaitHighDone;
+        break;
+      }
+      case FrontState::WaitHighDone: {
+        // Subsequent events may depend on the bulk metadata the
+        // high-level handler writes (e.g., a taint source tainting a
+        // buffer): filtering resumes only once it completes, so no
+        // event is wrongly filtered against stale metadata.
+        if (outstanding_ > 0) {
+            ++stats_.stallDrain;
+            return;
+        }
+        front_ = FrontState::Normal;
+        break;
+      }
+      case FrontState::SuuActive:
+        // Handled in tick().
+        break;
+    }
+}
+
+void
+Fade::tick(Cycle now)
+{
+    bool active = !pipelineEmpty() || front_ != FrontState::Normal ||
+                  blocked_ || suu_.busy() || (eq_ && !eq_->empty());
+    if (active)
+        ++stats_.busyCycles;
+    else
+        ++stats_.idleCycles;
+
+    if (front_ == FrontState::SuuActive) {
+        // Filtering is stopped while the SUU sets frame metadata.
+        ++stats_.suuCycles;
+        suu_.tick();
+        if (!suu_.busy())
+            front_ = FrontState::Normal;
+        return;
+    }
+
+    if (blocked_) {
+        // Baseline (blocking) FADE: filtering stalls until the software
+        // handler of the unfiltered event completes.
+        ++stats_.stallBlocking;
+        return;
+    }
+
+    if (!advanceMw(now))
+        return;
+    advanceFilter(now);
+    advanceMdr(now);
+    advanceCtrl();
+    advanceEtr();
+    frontEnd(now);
+}
+
+void
+Fade::handlerDone(std::uint64_t seq)
+{
+    panic_if(outstanding_ == 0, "handlerDone with no outstanding handler");
+    --outstanding_;
+    fsq_.release(seq);
+    if (blocked_ && seq == blockedSeq_)
+        blocked_ = false;
+}
+
+void
+Fade::resetStats()
+{
+    stats_ = FadeStats{};
+    sinceUnfiltered_ = 0;
+    curBurst_ = 0;
+    haveBurst_ = false;
+    mdc_.resetStats();
+    suu_.resetStats();
+}
+
+} // namespace fade

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * FADE: the Filtering Accelerator for Decoupled Event processing — the
+ * paper's primary contribution. Combines the Filtering Unit pipeline
+ * (Fig. 5: Event Table Read, Control, Metadata Read, Filter, plus the
+ * Metadata Write stage for Non-Blocking filtering), the Stack-Update
+ * Unit, the MD cache with its M-TLB, the filter store queue, and the
+ * invariant/metadata register files.
+ *
+ * FADE dequeues one event per cycle from the event queue, evaluates the
+ * programmable filtering rules, and either retires the event (filtered)
+ * or forwards it to the unfiltered event queue for software processing.
+ * In blocking mode the pipeline stalls from any unfiltered event until
+ * its handler completes; in Non-Blocking mode the MD update logic
+ * commits the critical metadata in hardware and filtering continues.
+ */
+
+#ifndef FADE_CORE_FADE_HH
+#define FADE_CORE_FADE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/event_table.hh"
+#include "core/filter_logic.hh"
+#include "core/fsq.hh"
+#include "core/md_update.hh"
+#include "core/regfiles.hh"
+#include "core/suu.hh"
+#include "isa/event.hh"
+#include "mem/mdcache.hh"
+#include "monitor/context.hh"
+#include "sim/queue.hh"
+#include "sim/stats.hh"
+
+namespace fade
+{
+
+/** Configuration of one FADE instance. */
+struct FadeParams
+{
+    /** Non-Blocking filtering (Section 5); false = baseline FADE. */
+    bool nonBlocking = true;
+    /** Filter store queue capacity. */
+    std::size_t fsqEntries = 16;
+    /** MD cache / M-TLB geometry. */
+    MdCacheParams mdCache;
+    /** INV register holding the bulk value written on function calls. */
+    unsigned callInvId = 6;
+    /** INV register holding the bulk value written on returns. */
+    unsigned retInvId = 7;
+    /**
+     * Drain in-flight work around high-level events (malloc / free /
+     * taint source) and hold filtering until their handler completes.
+     * Required for soundness: a taint source's bulk metadata update
+     * must be visible before subsequent dependent events are filtered.
+     * High-level events are rare (Section 3.3), so the cost is small;
+     * the flag exists for the ablation study.
+     */
+    bool drainOnHighLevel = true;
+};
+
+/** Counters and distributions collected by one FADE instance. */
+struct FadeStats
+{
+    std::uint64_t instEvents = 0;
+    std::uint64_t filtered = 0;       ///< fully filtered (no software)
+    std::uint64_t filteredCC = 0;     ///< attributed to clean checks
+    std::uint64_t filteredRU = 0;     ///< attributed to redundant updates
+    std::uint64_t partialPass = 0;    ///< partial check passed (short PC)
+    std::uint64_t partialFail = 0;    ///< partial check failed (long PC)
+    std::uint64_t unfiltered = 0;     ///< full software handler needed
+    std::uint64_t stackEvents = 0;
+    std::uint64_t highLevelEvents = 0;
+    std::uint64_t shots = 0;          ///< filter-stage evaluation cycles
+    std::uint64_t comparisons = 0;    ///< comparison blocks engaged
+
+    std::uint64_t stallUeqFull = 0;   ///< cycles stalled: UEQ backpressure
+    std::uint64_t stallBlocking = 0;  ///< cycles stalled: blocking mode
+    std::uint64_t stallDrain = 0;     ///< cycles waiting for drains
+    std::uint64_t stallMdRead = 0;    ///< extra MDR cycles (MD misses)
+    std::uint64_t stallFsqFull = 0;   ///< cycles stalled: FSQ full
+    std::uint64_t suuCycles = 0;      ///< cycles the SUU owned the unit
+    std::uint64_t busyCycles = 0;
+    std::uint64_t idleCycles = 0;
+
+    /** Distance (in filterable events) between software-bound events. */
+    Log2Histogram unfDistance;
+    /** Unfiltered burst sizes under the paper's <=16-distance rule. */
+    Log2Histogram unfBurst;
+
+    /** Per-event-ID outcome counters (analysis / debugging). */
+    std::array<std::uint64_t, numCanonicalEvents> filteredById{};
+    std::array<std::uint64_t, numCanonicalEvents> softwareById{};
+
+    /**
+     * Fraction of instruction-event handlers elided by hardware: fully
+     * filtered events plus partial-filtering events whose check passed
+     * (the full handler is replaced by the short update handler).
+     */
+    double
+    filteringRatio() const
+    {
+        if (instEvents == 0)
+            return 0.0;
+        return static_cast<double>(filtered + partialPass) / instEvents;
+    }
+};
+
+/**
+ * The accelerator. The owning system binds the two decoupling queues,
+ * ticks FADE once per cycle, and reports software handler completions
+ * via handlerDone().
+ */
+class Fade
+{
+  public:
+    /**
+     * @param p    configuration
+     * @param ctx  canonical metadata state shared with the monitor
+     * @param l2   next memory level behind the MD cache (may be null)
+     */
+    Fade(const FadeParams &p, MonitorContext &ctx, Cache *l2);
+
+    /** Attach the event queue and the unfiltered event queue. */
+    void bind(BoundedQueue<MonEvent> *eq,
+              BoundedQueue<UnfilteredEvent> *ueq);
+
+    /** Programming interfaces (memory-mapped in hardware). */
+    EventTable &eventTable() { return table_; }
+    InvRegFile &invRf() { return inv_; }
+    MdCache &mdCache() { return mdc_; }
+    const FilterStoreQueue &fsq() const { return fsq_; }
+    StackUpdateUnit &suu() { return suu_; }
+    const FadeParams &params() const { return params_; }
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /** Software completed the handler of the event with @p seq. */
+    void handlerDone(std::uint64_t seq);
+
+    /** Anything in flight inside the accelerator? */
+    bool busy() const;
+
+    /** No in-flight events and no outstanding software handlers. */
+    bool quiesced() const;
+
+    std::uint64_t outstandingHandlers() const { return outstanding_; }
+
+    /** Close out the trailing unfiltered burst at end of measurement. */
+    void finalizeBursts();
+
+    /**
+     * Invoked when the SUU begins processing a stack-update event (the
+     * unit has fully drained at this point). The owning system uses it
+     * to apply the monitor's non-critical bookkeeping for the frame
+     * (the critical metadata itself is written by the SUU hardware).
+     */
+    std::function<void(const MonEvent &)> onStackUpdate;
+
+    const FadeStats &stats() const { return stats_; }
+    void resetStats();
+
+  private:
+    /** One pipeline latch. */
+    struct PipeSlot
+    {
+        bool valid = false;
+        MonEvent ev;
+        /** MDR: cycle the metadata read completes. */
+        Cycle readyAt = 0;
+        /** FILTER: remaining multi-shot cycles. */
+        unsigned shotsLeft = 0;
+        /** FILTER: evaluation result (computed on stage entry). */
+        FilterOutcome out;
+        OperandMd md;
+        /** MW: pending non-blocking update. */
+        std::optional<std::uint8_t> nbVal;
+        bool nbDestIsMem = false;
+    };
+
+    /** Front-end state for stack updates and high-level events. */
+    enum class FrontState : std::uint8_t
+    {
+        Normal,
+        WaitDrainStack, ///< draining for a pending stack update
+        WaitDrainHigh,  ///< draining for a pending high-level event
+        WaitHighDone,   ///< waiting for the high-level handler to finish
+        SuuActive,      ///< SUU owns the unit
+    };
+
+    bool pipelineEmpty() const;
+    std::uint8_t readOperandMd(const OperandRule &rule, bool isDest,
+                               const MonEvent &ev) const;
+    OperandMd gatherMd(const EventTableEntry &e, const MonEvent &ev) const;
+    unsigned mdReadLatency(const EventTableEntry &e, const MonEvent &ev);
+    void recordSoftwareBound(const MonEvent &ev);
+    void noteFiltered(const FilterOutcome &out);
+    bool advanceMw(Cycle now);
+    void advanceFilter(Cycle now);
+    void advanceMdr(Cycle now);
+    void advanceCtrl();
+    void advanceEtr();
+    void frontEnd(Cycle now);
+
+    FadeParams params_;
+    MonitorContext &ctx_;
+
+    EventTable table_;
+    InvRegFile inv_;
+    MdCache mdc_;
+    FilterLogic logic_;
+    FilterStoreQueue fsq_;
+    StackUpdateUnit suu_;
+
+    BoundedQueue<MonEvent> *eq_ = nullptr;
+    BoundedQueue<UnfilteredEvent> *ueq_ = nullptr;
+
+    PipeSlot etr_, ctrl_, mdr_, filt_, mw_;
+
+    FrontState front_ = FrontState::Normal;
+    MonEvent pendingFront_;
+
+    bool blocked_ = false;
+    std::uint64_t blockedSeq_ = 0;
+    std::uint64_t outstanding_ = 0;
+
+    /** Filterable events since the last software-bound event. */
+    std::uint64_t sinceUnfiltered_ = 0;
+    std::uint64_t curBurst_ = 0;
+    bool haveBurst_ = false;
+
+    FadeStats stats_;
+};
+
+} // namespace fade
+
+#endif // FADE_CORE_FADE_HH

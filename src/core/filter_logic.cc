@@ -1,0 +1,143 @@
+#include "core/filter_logic.hh"
+
+namespace fade
+{
+
+ShotResult
+FilterLogic::evaluateShot(const EventTableEntry &e,
+                          const OperandMd &md) const
+{
+    ShotResult r;
+
+    if (e.cc) {
+        // Clean check: every valid operand's (masked) metadata must
+        // match its invariant register. Up to three blocks engage, one
+        // per operand (the most complex single-shot condition of
+        // Fig. 7: three operands against three different invariants).
+        bool pass = true;
+        auto check = [&](const OperandRule &op, std::uint8_t v) {
+            if (!op.valid)
+                return;
+            ++r.blocksUsed;
+            if ((v & op.mask) != (inv_.read(op.invId) & op.mask))
+                pass = false;
+        };
+        check(e.s1, md.s1);
+        check(e.s2, md.s2);
+        check(e.d, md.d);
+        r.pass = pass && r.blocksUsed > 0;
+        return r;
+    }
+
+    if (e.ru != RuOp::None) {
+        // Redundant update: compose the source metadata and compare to
+        // the destination; a match means the software update would
+        // leave the metadata unchanged.
+        std::uint8_t src = md.s1 & e.s1.mask;
+        switch (e.ru) {
+          case RuOp::CopyS1:
+            break;
+          case RuOp::OrS1S2:
+            src = (md.s1 & e.s1.mask) | (md.s2 & e.s2.mask);
+            break;
+          case RuOp::AndS1S2:
+            src = (md.s1 & e.s1.mask) & (md.s2 & e.s2.mask);
+            break;
+          default:
+            break;
+        }
+        r.blocksUsed = 1;
+        r.pass = src == (md.d & e.d.mask);
+        return r;
+    }
+
+    // Entry with neither CC nor RU: never filters (pure dispatch).
+    r.pass = false;
+    return r;
+}
+
+FilterOutcome
+FilterLogic::evaluate(const EventTable &table, std::uint8_t firstIdx,
+                      const OperandMd &md) const
+{
+    FilterOutcome out;
+
+    panic_if(!table.validAt(firstIdx),
+             "filter evaluation on invalid event table entry ",
+             unsigned(firstIdx));
+
+    const EventTableEntry *e = &table.lookup(firstIdx);
+    panic_if(e->partial && e->multiShot,
+             "entry ", unsigned(firstIdx),
+             ": partial entries terminate chains (nextEntry selects the"
+             " alternate handler PC)");
+
+    ShotResult shot = evaluateShot(*e, md);
+    bool outcome = shot.pass;
+    out.shots = 1;
+    out.blocksUsed = shot.blocksUsed;
+    out.ccPassed = shot.pass && e->cc;
+    out.ruPassed = shot.pass && e->ru != RuOp::None;
+
+    // Multi-shot: one additional cycle per chained entry; the chaining
+    // register carries the running outcome into the next shot's mux.
+    while (e->multiShot) {
+        std::uint8_t next = e->nextEntry;
+        panic_if(!table.validAt(next),
+                 "multi-shot chain points at invalid entry ",
+                 unsigned(next));
+        panic_if(out.shots > eventTableEntries,
+                 "multi-shot chain does not terminate");
+        // Early termination: once the running outcome is absorbing for
+        // every remaining link (true through OR links, false through
+        // AND links), further shots cannot change it and the hardware
+        // resolves immediately. This keeps the common case — a clean
+        // check that passes on the first shot — at one event per cycle.
+        bool absorbing = true;
+        for (const EventTableEntry *scan = e; scan->multiShot;) {
+            const EventTableEntry &link = table.lookup(scan->nextEntry);
+            MsCombine c = link.msCombine;
+            if ((outcome && c != MsCombine::Or) ||
+                (!outcome && c != MsCombine::And)) {
+                absorbing = false;
+                break;
+            }
+            scan = &link;
+        }
+        if (absorbing)
+            break;
+        e = &table.lookup(next);
+        shot = evaluateShot(*e, md);
+        outcome = e->msCombine == MsCombine::Or ? (outcome || shot.pass)
+                                                : (outcome && shot.pass);
+        out.ccPassed = out.ccPassed || (shot.pass && e->cc);
+        out.ruPassed = out.ruPassed || (shot.pass && e->ru != RuOp::None);
+        ++out.shots;
+        out.blocksUsed += shot.blocksUsed;
+    }
+
+    const EventTableEntry &first = table.lookup(firstIdx);
+    if (first.partial) {
+        // Partial filtering: the event always reaches software; the
+        // check outcome selects between the short handler (this entry)
+        // and the complex handler (the entry named by nextEntry).
+        out.partial = true;
+        out.checkPassed = outcome;
+        out.filtered = false;
+        if (outcome) {
+            out.handlerPc = first.handlerPc;
+        } else {
+            panic_if(!table.validAt(first.nextEntry),
+                     "partial entry's alternate handler entry invalid");
+            out.handlerPc = table.lookup(first.nextEntry).handlerPc;
+        }
+        return out;
+    }
+
+    out.checkPassed = outcome;
+    out.filtered = outcome;
+    out.handlerPc = first.handlerPc;
+    return out;
+}
+
+} // namespace fade

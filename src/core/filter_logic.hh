@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The filter logic of the Filter stage (Fig. 7 of the paper): three
+ * identical two-operand comparison blocks (f1, f2, f3), each comparing
+ * one event operand's metadata to another operand or to an invariant,
+ * plus the multi-shot chaining register and mux. Pure combinational
+ * model; the pipeline charges one cycle per shot.
+ */
+
+#ifndef FADE_CORE_FILTER_LOGIC_HH
+#define FADE_CORE_FILTER_LOGIC_HH
+
+#include <cstdint>
+
+#include "core/event_table.hh"
+#include "core/regfiles.hh"
+
+namespace fade
+{
+
+/** Metadata values of the (up to three) event operands. */
+struct OperandMd
+{
+    std::uint8_t s1 = 0;
+    std::uint8_t s2 = 0;
+    std::uint8_t d = 0;
+};
+
+/** Result of evaluating one event table entry (one shot). */
+struct ShotResult
+{
+    bool pass = false;
+    /** Comparison blocks engaged (1..3), for the energy model. */
+    unsigned blocksUsed = 0;
+};
+
+/** Final outcome of (possibly multi-shot) filter evaluation. */
+struct FilterOutcome
+{
+    /** Event requires no software handler (fully filtered). */
+    bool filtered = false;
+    /** Entry was a partial-filtering entry. */
+    bool partial = false;
+    /** Hardware check passed (selects the short handler for partial). */
+    bool checkPassed = false;
+    /** Handler PC dispatched when the event reaches software. */
+    Addr handlerPc = 0;
+    /** Cycles spent in the Filter stage (one per shot). */
+    unsigned shots = 1;
+    /** Total comparison blocks engaged across shots. */
+    unsigned blocksUsed = 0;
+    /** A clean-check entry passed somewhere in the chain. */
+    bool ccPassed = false;
+    /** A redundant-update entry passed somewhere in the chain. */
+    bool ruPassed = false;
+};
+
+/**
+ * Combinational filter logic. Holds a reference to the INV RF, as the
+ * hardware wires the invariant registers into the comparison blocks.
+ */
+class FilterLogic
+{
+  public:
+    explicit FilterLogic(const InvRegFile &inv) : inv_(inv) {}
+
+    /**
+     * Evaluate a single entry against operand metadata: a clean check
+     * compares each valid operand to its invariant register; a
+     * redundant-update check composes the source metadata and compares
+     * it to the destination metadata.
+     */
+    ShotResult evaluateShot(const EventTableEntry &e,
+                            const OperandMd &md) const;
+
+    /**
+     * Full evaluation starting at @p firstIdx, walking multi-shot
+     * chains (one shot per cycle in hardware) and resolving partial
+     * filtering handler selection.
+     */
+    FilterOutcome evaluate(const EventTable &table, std::uint8_t firstIdx,
+                           const OperandMd &md) const;
+
+  private:
+    const InvRegFile &inv_;
+};
+
+} // namespace fade
+
+#endif // FADE_CORE_FILTER_LOGIC_HH

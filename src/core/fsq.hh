@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Filter Store Queue (FSQ). For Non-Blocking filtering the Metadata
+ * Write stage commits updated *memory* metadata of unfiltered events
+ * into the FSQ; subsequent dependent events search the FSQ in parallel
+ * with the MD cache during Metadata Read. An entry is discarded when the
+ * software handler of the owning event completes (at which point the
+ * metadata store holds the same value).
+ */
+
+#ifndef FADE_CORE_FSQ_HH
+#define FADE_CORE_FSQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** One pending critical-metadata store. */
+struct FsqEntry
+{
+    Addr mdAddr = 0;
+    std::uint8_t value = 0;
+    /** Sequence number of the unfiltered event that produced it. */
+    std::uint64_t ownerSeq = 0;
+};
+
+/**
+ * Small associatively-searched store queue. Youngest-match forwarding,
+ * bounded capacity; the pipeline stalls the Metadata Write stage when
+ * the FSQ is full.
+ */
+class FilterStoreQueue
+{
+  public:
+    explicit FilterStoreQueue(std::size_t capacity = 16)
+        : capacity_(capacity)
+    {}
+
+    bool full() const { return q_.size() >= capacity_; }
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Insert a pending store; fails when full. */
+    bool
+    push(Addr mdAddr, std::uint8_t value, std::uint64_t ownerSeq)
+    {
+        if (full())
+            return false;
+        q_.push_back({mdAddr, value, ownerSeq});
+        ++pushes_;
+        if (q_.size() > maxOccupancy_)
+            maxOccupancy_ = q_.size();
+        return true;
+    }
+
+    /**
+     * Forward the youngest pending value for @p mdAddr, searched in
+     * parallel with the MD cache during Metadata Read.
+     */
+    std::optional<std::uint8_t>
+    lookup(Addr mdAddr) const
+    {
+        for (auto it = q_.rbegin(); it != q_.rend(); ++it)
+            if (it->mdAddr == mdAddr)
+                return it->value;
+        return std::nullopt;
+    }
+
+    /**
+     * Discard all entries owned by the event whose handler completed;
+     * the MD cache / metadata store now holds the updated values.
+     */
+    void
+    release(std::uint64_t ownerSeq)
+    {
+        for (auto it = q_.begin(); it != q_.end();) {
+            if (it->ownerSeq == ownerSeq)
+                it = q_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    void clear() { q_.clear(); }
+
+    std::uint64_t pushes() const { return pushes_; }
+    std::size_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<FsqEntry> q_;
+    std::uint64_t pushes_ = 0;
+    std::size_t maxOccupancy_ = 0;
+};
+
+} // namespace fade
+
+#endif // FADE_CORE_FSQ_HH

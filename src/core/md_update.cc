@@ -1,0 +1,59 @@
+#include "core/md_update.hh"
+
+namespace fade
+{
+
+namespace
+{
+
+std::optional<std::uint8_t>
+applyAction(NbAction a, std::uint8_t invId, const OperandMd &md,
+            const InvRegFile &inv)
+{
+    switch (a) {
+      case NbAction::None:
+        return std::nullopt;
+      case NbAction::CopyS1:
+        return md.s1;
+      case NbAction::CopyS2:
+        return md.s2;
+      case NbAction::Or:
+        return static_cast<std::uint8_t>(md.s1 | md.s2);
+      case NbAction::And:
+        return static_cast<std::uint8_t>(md.s1 & md.s2);
+      case NbAction::SetConst:
+        return inv.read(invId);
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::uint8_t>
+computeMdUpdate(const NbRule &rule, const OperandMd &md,
+                const InvRegFile &inv)
+{
+    if (!rule.conditional)
+        return applyAction(rule.action, rule.invId, md, inv);
+
+    bool cond = false;
+    switch (rule.cond) {
+      case NbCond::S1EqS2:
+        cond = md.s1 == md.s2;
+        break;
+      case NbCond::S1EqD:
+        cond = md.s1 == md.d;
+        break;
+      case NbCond::S1EqConst:
+        cond = md.s1 == inv.read(rule.condInvId);
+        break;
+      case NbCond::S2EqConst:
+        cond = md.s2 == inv.read(rule.condInvId);
+        break;
+    }
+
+    return cond ? applyAction(rule.action, rule.invId, md, inv)
+                : applyAction(rule.elseAction, rule.elseInvId, md, inv);
+}
+
+} // namespace fade

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Non-Blocking MD update logic (Section 5.2 of the paper). For an
+ * unfilterable event, computes the new value of the destination's
+ * *critical* metadata from simple predefined rules so that filtering of
+ * subsequent dependent events can proceed without waiting for the
+ * software handler. Updates are non-speculative: the software handler
+ * later writes the same critical value (plus non-critical state).
+ */
+
+#ifndef FADE_CORE_MD_UPDATE_HH
+#define FADE_CORE_MD_UPDATE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/event_table.hh"
+#include "core/filter_logic.hh"
+#include "core/regfiles.hh"
+
+namespace fade
+{
+
+/**
+ * Evaluate a Non-Blocking update rule.
+ *
+ * Supported rules (paper Section 5.2):
+ *  1. propagate a source's metadata to the destination (CopyS1/CopyS2);
+ *  2. compose the destination from both sources with OR or AND;
+ *  3. set the destination to a constant held in an INV register;
+ *  4. conditionally pick between two of the above after comparing the
+ *     sources to each other, to the destination, or to a constant.
+ *
+ * @return the new destination metadata byte, or std::nullopt when the
+ *         rule is NbAction::None (no hardware update; the event's
+ *         dependents must wait for software in blocking fashion).
+ */
+std::optional<std::uint8_t> computeMdUpdate(const NbRule &rule,
+                                            const OperandMd &md,
+                                            const InvRegFile &inv);
+
+} // namespace fade
+
+#endif // FADE_CORE_MD_UPDATE_HH

@@ -1,0 +1,219 @@
+#include "cpu/core.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+CoreParams
+inOrderParams()
+{
+    CoreParams p;
+    p.name = "in-order";
+    p.width = 1;
+    p.robSize = 16;
+    p.inOrder = true;
+    p.mispredictPenalty = 4;
+    return p;
+}
+
+CoreParams
+leanOooParams()
+{
+    CoreParams p;
+    p.name = "lean-ooo";
+    p.width = 2;
+    p.robSize = 48;
+    p.inOrder = false;
+    p.mispredictPenalty = 8;
+    return p;
+}
+
+CoreParams
+aggressiveOooParams()
+{
+    CoreParams p;
+    p.name = "aggr-ooo";
+    p.width = 4;
+    p.robSize = 96;
+    p.inOrder = false;
+    p.mispredictPenalty = 8;
+    return p;
+}
+
+Core::Core(const CoreParams &p, Cache *l1d) : params_(p), l1d_(l1d)
+{
+    fatal_if(p.width == 0, "core width must be positive");
+    fatal_if(p.robSize == 0, "ROB size must be positive");
+}
+
+unsigned
+Core::addThread(InstSource *src, CommitSink *sink)
+{
+    fatal_if(threads_.size() >= 2, "at most two hardware threads");
+    HwThread t;
+    t.src = src;
+    t.sink = sink;
+    threads_.push_back(std::move(t));
+    return unsigned(threads_.size() - 1);
+}
+
+const ThreadStats &
+Core::threadStats(unsigned t) const
+{
+    panic_if(t >= threads_.size(), "bad thread index");
+    return threads_[t].stats;
+}
+
+unsigned
+Core::robCapacity() const
+{
+    // Static partitioning between hardware threads.
+    return params_.robSize / std::max<unsigned>(1, unsigned(threads_.size()));
+}
+
+bool
+Core::tryCommitOne(HwThread &t, Cycle now)
+{
+    if (t.rob.empty())
+        return false;
+    RobEntry &head = t.rob.front();
+    if (head.readyAt > now)
+        return false;
+    if (t.sink && !t.sink->canCommit(head.inst)) {
+        ++t.stats.sinkStallCycles;
+        return false;
+    }
+    if (t.sink)
+        t.sink->onCommit(head.inst);
+    ++t.stats.retired;
+    t.rob.pop_front();
+    return true;
+}
+
+bool
+Core::tryDispatchOne(HwThread &t, Cycle now)
+{
+    if (t.rob.size() >= robCapacity())
+        return false;
+    if (now < t.fetchStallUntil)
+        return false;
+    if (!t.src || !t.src->available())
+        return false;
+
+    Instruction inst = t.src->fetch();
+
+    Cycle depReady = 0;
+    if (inst.numSrc >= 1)
+        depReady = std::max(depReady, t.regReady[inst.src1]);
+    if (inst.numSrc >= 2)
+        depReady = std::max(depReady, t.regReady[inst.src2]);
+    // Loads and stores use a register-held address: model the address
+    // dependence through src1 (already covered above).
+
+    Cycle execStart = std::max<Cycle>(now + 1, depReady);
+    if (params_.inOrder) {
+        // Program-order issue: an instruction cannot begin execution
+        // before its predecessor began.
+        execStart = std::max(execStart, t.lastIssue);
+        t.lastIssue = execStart;
+    }
+
+    unsigned lat;
+    if (inst.cls == InstClass::Load) {
+        lat = l1d_ ? l1d_->access(inst.memAddr, false) : 2;
+    } else if (inst.cls == InstClass::Store) {
+        // Stores retire through a store buffer: keep the tags warm but
+        // do not stall the dependence chain.
+        if (l1d_)
+            l1d_->access(inst.memAddr, true);
+        lat = 1;
+    } else {
+        lat = execLatency(inst.cls);
+    }
+
+    Cycle readyAt = execStart + lat;
+    if (inst.hasDst)
+        t.regReady[inst.dst] = readyAt;
+
+    if (inst.mispredict)
+        t.fetchStallUntil = readyAt + params_.mispredictPenalty;
+
+    t.rob.push_back({inst, readyAt});
+    return true;
+}
+
+void
+Core::tick(Cycle now)
+{
+    ++cycles_;
+    unsigned n = unsigned(threads_.size());
+    if (n == 0)
+        return;
+
+    // Per-cycle condition accounting (before any state changes).
+    for (auto &t : threads_) {
+        if (t.rob.size() >= robCapacity())
+            ++t.stats.robFullCycles;
+        if (now < t.fetchStallUntil)
+            ++t.stats.fetchBubbleCycles;
+        if (t.rob.empty() && (!t.src || !t.src->available()))
+            ++t.stats.idleCycles;
+    }
+
+    // Commit: up to `width` slots shared round-robin across threads.
+    // A thread whose head is not ready (or is refused by its sink)
+    // yields its slots to the other thread.
+    {
+        unsigned budget = params_.width;
+        std::vector<bool> open(n, true);
+        unsigned t = commitRr_;
+        while (budget > 0 && (open[0] || (n > 1 && open[1]))) {
+            if (open[t]) {
+                if (tryCommitOne(threads_[t], now))
+                    --budget;
+                else
+                    open[t] = false;
+            }
+            t = (t + 1) % n;
+        }
+        commitRr_ = (commitRr_ + 1) % n;
+    }
+
+    // Dispatch: same slot-by-slot sharing.
+    {
+        unsigned budget = params_.width;
+        std::vector<bool> open(n, true);
+        unsigned t = dispatchRr_;
+        while (budget > 0 && (open[0] || (n > 1 && open[1]))) {
+            if (open[t]) {
+                if (tryDispatchOne(threads_[t], now))
+                    --budget;
+                else
+                    open[t] = false;
+            }
+            t = (t + 1) % n;
+        }
+        dispatchRr_ = (dispatchRr_ + 1) % n;
+    }
+}
+
+bool
+Core::drained() const
+{
+    for (const auto &t : threads_) {
+        if (!t.rob.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Core::resetStats()
+{
+    for (auto &t : threads_)
+        t.stats = ThreadStats{};
+    cycles_ = 0;
+}
+
+} // namespace fade

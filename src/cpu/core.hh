@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unified core timing model covering the paper's three design points
+ * (Table 1): in-order 1-way, lean OoO 2-way/48-entry ROB, and aggressive
+ * OoO 4-way/96-entry ROB, plus the fine-grained dual-threaded (SMT)
+ * configuration used by the single-core monitoring system (Fig. 8(b)).
+ *
+ * The model dispatches up to `width` instructions per cycle into a
+ * reorder buffer, computes each instruction's completion time from its
+ * register dependences, execution latency, and data cache access, and
+ * commits up to `width` completed instructions per cycle in order.
+ * In-order cores additionally force monotonically non-decreasing issue
+ * times in program order. Mispredicted branches stall fetch until the
+ * branch resolves plus a redirect penalty. With two hardware threads the
+ * fetch/dispatch and commit bandwidth is shared slot-by-slot round-robin
+ * and the ROB is statically partitioned.
+ */
+
+#ifndef FADE_CPU_CORE_HH
+#define FADE_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cpu/source.hh"
+#include "isa/instruction.hh"
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Core microarchitecture parameters. */
+struct CoreParams
+{
+    std::string name = "core";
+    unsigned width = 4;
+    unsigned robSize = 96;
+    bool inOrder = false;
+    /** Fetch redirect penalty after a mispredicted branch resolves. */
+    unsigned mispredictPenalty = 8;
+};
+
+/** Table 1 presets. */
+CoreParams inOrderParams();
+CoreParams leanOooParams();
+CoreParams aggressiveOooParams();
+
+/** Per-hardware-thread statistics. */
+struct ThreadStats
+{
+    std::uint64_t retired = 0;
+    /** Cycles a completed head-of-ROB was refused by the commit sink. */
+    std::uint64_t sinkStallCycles = 0;
+    /** Cycles with an empty ROB and no instruction supplied. */
+    std::uint64_t idleCycles = 0;
+    std::uint64_t robFullCycles = 0;
+    std::uint64_t fetchBubbleCycles = 0;
+};
+
+/**
+ * A core with one or two hardware threads sharing its pipeline.
+ */
+class Core
+{
+  public:
+    /**
+     * @param p    microarchitecture parameters
+     * @param l1d  private L1 data cache (loads/stores consult it)
+     */
+    Core(const CoreParams &p, Cache *l1d);
+
+    /**
+     * Attach a hardware thread.
+     * @return the hardware thread index.
+     */
+    unsigned addThread(InstSource *src, CommitSink *sink);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    unsigned numThreads() const { return unsigned(threads_.size()); }
+    const CoreParams &params() const { return params_; }
+    const ThreadStats &threadStats(unsigned t) const;
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** All ROBs empty and no source has work. */
+    bool drained() const;
+
+    void resetStats();
+
+  private:
+    struct RobEntry
+    {
+        Instruction inst;
+        Cycle readyAt = 0;
+    };
+
+    struct HwThread
+    {
+        InstSource *src = nullptr;
+        CommitSink *sink = nullptr;
+        std::deque<RobEntry> rob;
+        std::array<Cycle, numArchRegs> regReady{};
+        /** In-order cores: issue time of the previously dispatched op. */
+        Cycle lastIssue = 0;
+        /** Fetch stalled until this cycle (branch redirect). */
+        Cycle fetchStallUntil = 0;
+        ThreadStats stats;
+    };
+
+    unsigned robCapacity() const;
+    bool tryCommitOne(HwThread &t, Cycle now);
+    bool tryDispatchOne(HwThread &t, Cycle now);
+
+    CoreParams params_;
+    Cache *l1d_;
+    std::vector<HwThread> threads_;
+    unsigned commitRr_ = 0;
+    unsigned dispatchRr_ = 0;
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace fade
+
+#endif // FADE_CPU_CORE_HH

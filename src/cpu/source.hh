@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Interfaces between the core timing models and the components that
+ * supply instructions (workload generator, monitor handler engine) and
+ * observe retirement (event extraction, handler completion).
+ */
+
+#ifndef FADE_CPU_SOURCE_HH
+#define FADE_CPU_SOURCE_HH
+
+#include "isa/instruction.hh"
+
+namespace fade
+{
+
+/** Supplies the dynamic instruction stream of one hardware thread. */
+class InstSource
+{
+  public:
+    virtual ~InstSource() = default;
+
+    /** An instruction is available for fetch this cycle. */
+    virtual bool available() = 0;
+
+    /** Fetch the next instruction; call only when available(). */
+    virtual Instruction fetch() = 0;
+};
+
+/** Observes in-order retirement of one hardware thread. */
+class CommitSink
+{
+  public:
+    virtual ~CommitSink() = default;
+
+    /**
+     * May @p inst commit this cycle? Producers refuse when the event
+     * queue has no room for the instruction's event (backpressure
+     * stalls retirement, Section 3.2).
+     */
+    virtual bool canCommit(const Instruction &inst)
+    {
+        (void)inst;
+        return true;
+    }
+
+    /** @p inst committed (retired in order). */
+    virtual void onCommit(const Instruction &inst) { (void)inst; }
+};
+
+} // namespace fade
+
+#endif // FADE_CPU_SOURCE_HH

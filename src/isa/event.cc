@@ -1,0 +1,120 @@
+#include "isa/event.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::IntAlu: return "IntAlu";
+      case InstClass::IntMul: return "IntMul";
+      case InstClass::Load: return "Load";
+      case InstClass::Store: return "Store";
+      case InstClass::FpAlu: return "FpAlu";
+      case InstClass::Branch: return "Branch";
+      case InstClass::JumpInd: return "JumpInd";
+      case InstClass::Call: return "Call";
+      case InstClass::Return: return "Return";
+      case InstClass::HighLevel: return "HighLevel";
+      case InstClass::Nop: return "Nop";
+      default: return "Invalid";
+    }
+}
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Inst: return "Inst";
+      case EventKind::StackCall: return "StackCall";
+      case EventKind::StackReturn: return "StackReturn";
+      case EventKind::Malloc: return "Malloc";
+      case EventKind::Free: return "Free";
+      case EventKind::TaintSource: return "TaintSource";
+      default: return "Invalid";
+    }
+}
+
+std::uint8_t
+classifyEvent(const Instruction &inst)
+{
+    switch (inst.cls) {
+      case InstClass::Load:
+        return evLoad;
+      case InstClass::Store:
+        return evStore;
+      case InstClass::IntAlu:
+        return inst.numSrc >= 2 ? evAluRR : evAluRI;
+      case InstClass::IntMul:
+        return evMul;
+      case InstClass::JumpInd:
+        return evJumpInd;
+      case InstClass::FpAlu:
+        return evFp;
+      case InstClass::Branch:
+        return evBranch;
+      default:
+        panic("classifyEvent: class ", instClassName(inst.cls),
+              " has no event id");
+    }
+}
+
+MonEvent
+makeInstEvent(const Instruction &inst, std::uint64_t seq)
+{
+    MonEvent ev;
+    ev.kind = EventKind::Inst;
+    ev.eventId = classifyEvent(inst);
+    ev.appAddr = inst.memAddr;
+    ev.appPc = inst.pc;
+    ev.src1 = inst.src1;
+    ev.src2 = inst.src2;
+    ev.numSrc = inst.numSrc;
+    ev.dst = inst.dst;
+    ev.hasDst = inst.hasDst;
+    ev.tid = inst.tid;
+    ev.truth = inst.truth;
+    ev.seq = seq;
+    return ev;
+}
+
+MonEvent
+makeHighLevelEvent(const Instruction &inst, std::uint64_t seq)
+{
+    panic_if(inst.cls != InstClass::HighLevel ||
+                 inst.hlKind == EventKind::Inst,
+             "makeHighLevelEvent on non high-level instruction");
+    MonEvent ev;
+    ev.kind = inst.hlKind;
+    ev.appAddr = inst.frameBase;
+    ev.appPc = inst.pc;
+    ev.len = inst.frameBytes;
+    ev.dst = inst.dst;
+    ev.hasDst = inst.hasDst;
+    ev.tid = inst.tid;
+    ev.truth = inst.truth;
+    ev.seq = seq;
+    return ev;
+}
+
+MonEvent
+makeStackEvent(const Instruction &inst, std::uint64_t seq)
+{
+    panic_if(!inst.isStackUpdate(),
+             "makeStackEvent on non call/return instruction");
+    MonEvent ev;
+    ev.kind = inst.cls == InstClass::Call ? EventKind::StackCall
+                                          : EventKind::StackReturn;
+    ev.appAddr = inst.frameBase;
+    ev.appPc = inst.pc;
+    ev.len = inst.frameBytes;
+    ev.tid = inst.tid;
+    ev.truth = inst.truth;
+    ev.seq = seq;
+    return ev;
+}
+
+} // namespace fade

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Monitored-event records exchanged between the application core, FADE,
+ * and the software monitor. The instruction-event payload follows the
+ * paper's Fig. 6(a): event ID, application address, application PC, and
+ * up to two source registers plus one destination register.
+ */
+
+#ifndef FADE_ISA_EVENT_HH
+#define FADE_ISA_EVENT_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/**
+ * Canonical instruction event IDs used to index the event table. The
+ * event table has 128 entries (Section 6 of the paper); the IDs below
+ * cover the heavily used subset of the modelled ISA, and monitors may
+ * install additional chained entries at free indices for multi-shot
+ * rules.
+ */
+enum EventId : std::uint8_t
+{
+    evLoad = 0,     ///< ld [mem] -> rd        (s1 = mem, d = rd)
+    evStore = 1,    ///< st rs -> [mem]        (s1 = rs, d = mem)
+    evAluRR = 2,    ///< alu rs1, rs2 -> rd
+    evAluRI = 3,    ///< alu rs1, imm -> rd
+    evMul = 4,      ///< mul/div rs1, rs2 -> rd
+    evJumpInd = 5,  ///< jmp [rs1]
+    evFp = 6,       ///< fp op (rarely monitored)
+    evBranch = 7,   ///< conditional branch on rs1, rs2
+    numCanonicalEvents,
+    /** First event-table index free for monitor-installed chain entries. */
+    firstChainEntry = 32,
+};
+
+/**
+ * One event as carried by the event queue and the unfiltered event
+ * queue. The instruction payload matches Fig. 6(a); stack and high-level
+ * events reuse addr/len.
+ */
+struct MonEvent
+{
+    EventKind kind = EventKind::Inst;
+    std::uint8_t eventId = 0;
+
+    Addr appAddr = 0; ///< memory operand / frame base / block base
+    Addr appPc = 0;
+
+    RegIndex src1 = 0;
+    RegIndex src2 = 0;
+    std::uint8_t numSrc = 0;
+    RegIndex dst = 0;
+    bool hasDst = false;
+
+    /** Frame / allocation / taint-buffer length in bytes. */
+    std::uint32_t len = 0;
+
+    ThreadId tid = 0;
+
+    /** Oracle bits propagated from the instruction (tests only). */
+    std::uint8_t truth = truthNone;
+
+    /** Global sequence number (assigned by the producer). */
+    std::uint64_t seq = 0;
+
+    bool isInst() const { return kind == EventKind::Inst; }
+
+    bool
+    isStackUpdate() const
+    {
+        return kind == EventKind::StackCall ||
+               kind == EventKind::StackReturn;
+    }
+
+    bool
+    isHighLevel() const
+    {
+        return kind == EventKind::Malloc || kind == EventKind::Free ||
+               kind == EventKind::TaintSource;
+    }
+};
+
+/**
+ * An event forwarded to the software monitor, annotated with the
+ * handler dispatch information the filtering accelerator resolved.
+ */
+struct UnfilteredEvent
+{
+    MonEvent ev;
+    /** Software handler PC selected by the event table / partial bit. */
+    Addr handlerPc = 0;
+    /** Partial-filtering hardware check outcome (short vs long path). */
+    bool checkPassed = false;
+    /** The hardware already performed the filtering check. */
+    bool hwChecked = false;
+};
+
+/**
+ * Classify a retired instruction into its canonical event ID.
+ * Only meaningful for classes that can be monitored.
+ */
+std::uint8_t classifyEvent(const Instruction &inst);
+
+/** Build an event record from a retired monitored instruction. */
+MonEvent makeInstEvent(const Instruction &inst, std::uint64_t seq);
+
+/** Build a stack-update event from a retired call/return. */
+MonEvent makeStackEvent(const Instruction &inst, std::uint64_t seq);
+
+/** Build a high-level event from a retired HighLevel pseudo-op. */
+MonEvent makeHighLevelEvent(const Instruction &inst, std::uint64_t seq);
+
+} // namespace fade
+
+#endif // FADE_ISA_EVENT_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Application address-space layout (32-bit binaries, per the paper's
+ * methodology). The workload generator allocates from these regions and
+ * monitors use them to classify accesses (e.g., AddrCheck processes
+ * only non-stack memory instructions; AtomCheck treats the stack as
+ * thread-private).
+ */
+
+#ifndef FADE_ISA_LAYOUT_HH
+#define FADE_ISA_LAYOUT_HH
+
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Global/static data segment. */
+constexpr Addr globalBase = 0x10000000;
+constexpr Addr globalLimit = 0x20000000;
+
+/** Heap segment (grows upward). */
+constexpr Addr heapBase = 0x40000000;
+constexpr Addr heapLimit = 0xA0000000;
+
+/** Stack segment (grows downward from stackTop). */
+constexpr Addr stackLimit = 0xE0000000;
+constexpr Addr stackTop = 0xF0000000;
+
+constexpr bool
+isStackAddr(Addr a)
+{
+    return a >= stackLimit && a < stackTop;
+}
+
+constexpr bool
+isHeapAddr(Addr a)
+{
+    return a >= heapBase && a < heapLimit;
+}
+
+constexpr bool
+isGlobalAddr(Addr a)
+{
+    return a >= globalBase && a < globalLimit;
+}
+
+/**
+ * Memory ranges live at program start (for monitor startup-state
+ * initialization: the loader/startup code has already allocated and
+ * initialized globals and the initial stack frames).
+ */
+struct WorkloadLayout
+{
+    Addr globalBase = 0;
+    std::uint64_t globalLen = 0;
+    Addr stackBase = 0; ///< lowest initially-live stack address
+    std::uint64_t stackLen = 0;
+};
+
+} // namespace fade
+
+#endif // FADE_ISA_LAYOUT_HH

@@ -1,0 +1,143 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+Cache::Cache(const CacheParams &p, Cache *next, unsigned memLatency)
+    : params_(p), next_(next), memLatency_(memLatency)
+{
+    fatal_if(p.blockBytes == 0 || (p.blockBytes & (p.blockBytes - 1)),
+             "cache ", p.name, ": block size must be a power of two");
+    fatal_if(p.ways == 0, "cache ", p.name, ": needs at least one way");
+    std::uint64_t blocks = p.sizeBytes / p.blockBytes;
+    fatal_if(blocks % p.ways != 0,
+             "cache ", p.name, ": size/block not divisible by ways");
+    numSets_ = static_cast<unsigned>(blocks / p.ways);
+    fatal_if(numSets_ == 0 || (numSets_ & (numSets_ - 1)),
+             "cache ", p.name, ": set count must be a power of two");
+    sets_.assign(numSets_, std::vector<Line>(p.ways));
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / params_.blockBytes) &
+                                 (numSets_ - 1));
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.blockBytes) / numSets_;
+}
+
+unsigned
+Cache::access(Addr addr, bool write)
+{
+    auto &set = sets_[setIndex(addr)];
+    std::uint64_t tag = tagOf(addr);
+    ++lruClock_;
+
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            ++hits_;
+            line.lru = lruClock_;
+            return params_.latency;
+        }
+    }
+
+    ++misses_;
+    unsigned below = next_ ? next_->access(addr, write) : memLatency_;
+
+    // Fill: evict the LRU way.
+    Line *victim = &set[0];
+    for (auto &line : set) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = lruClock_;
+
+    return params_.latency + below;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const auto &set = sets_[setIndex(addr)];
+    std::uint64_t tag = tagOf(addr);
+    for (const auto &line : set)
+        if (line.valid && line.tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets_)
+        for (auto &line : set)
+            line.valid = false;
+}
+
+void
+Cache::touch(Addr addr)
+{
+    auto &set = sets_[setIndex(addr)];
+    std::uint64_t tag = tagOf(addr);
+    ++lruClock_;
+    for (auto &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lru = lruClock_;
+            return;
+        }
+    }
+    for (auto &line : set) {
+        if (!line.valid) {
+            line.valid = true;
+            line.tag = tag;
+            line.lru = lruClock_;
+            return;
+        }
+    }
+    Line *victim = &set[0];
+    for (auto &line : set)
+        if (line.lru < victim->lru)
+            victim = &line;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = lruClock_;
+}
+
+CacheParams
+l1Params(const std::string &name)
+{
+    CacheParams p;
+    p.name = name;
+    p.sizeBytes = 32 * 1024;
+    p.ways = 2;
+    p.blockBytes = 64;
+    p.latency = 2;
+    return p;
+}
+
+CacheParams
+l2Params()
+{
+    CacheParams p;
+    p.name = "l2";
+    p.sizeBytes = 2 * 1024 * 1024;
+    p.ways = 16;
+    p.blockBytes = 64;
+    p.latency = 10;
+    return p;
+}
+
+} // namespace fade

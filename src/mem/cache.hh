@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative cache timing model with LRU replacement. Caches form a
+ * linked hierarchy (L1 -> shared L2 -> DRAM latency), per Table 1 of the
+ * paper: 32KB 2-way 2-cycle L1s, 2MB 16-way 10-cycle shared L2, 90-cycle
+ * DRAM.
+ */
+
+#ifndef FADE_MEM_CACHE_HH
+#define FADE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Configuration for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 2;
+    unsigned blockBytes = 64;
+    unsigned latency = 2; ///< hit latency in cycles
+};
+
+/**
+ * Tag-only cache timing model. Data values live in functional state
+ * elsewhere; this model only decides hit/miss and accumulates latency
+ * down the hierarchy.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param p           geometry and latency
+     * @param next        next level, or nullptr for the last level
+     * @param memLatency  miss latency past the last level (DRAM)
+     */
+    Cache(const CacheParams &p, Cache *next = nullptr,
+          unsigned memLatency = 90);
+
+    /**
+     * Access a byte address. Allocates on miss (write-allocate).
+     * @return total latency in cycles including lower levels.
+     */
+    unsigned access(Addr addr, bool write);
+
+    /** Probe without updating state. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the whole cache (tests / reset). */
+    void flush();
+
+    /** Pre-load a block as resident (warmup support). */
+    void touch(Addr addr);
+
+    const CacheParams &params() const { return params_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    double
+    missRate() const
+    {
+        std::uint64_t n = hits_ + misses_;
+        return n ? static_cast<double>(misses_) / n : 0.0;
+    }
+
+    void
+    resetStats()
+    {
+        hits_ = misses_ = 0;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    CacheParams params_;
+    Cache *next_;
+    unsigned memLatency_;
+    unsigned numSets_;
+    std::vector<std::vector<Line>> sets_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Standard hierarchy parameters from Table 1. */
+CacheParams l1Params(const std::string &name);
+CacheParams l2Params();
+
+/** DRAM latency from Table 1. */
+constexpr unsigned dramLatency = 90;
+
+} // namespace fade
+
+#endif // FADE_MEM_CACHE_HH

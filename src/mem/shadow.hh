@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sparse functional shadow (metadata) memory. Monitors keep one byte of
+ * critical metadata per 32-bit application word, living in the monitor's
+ * address space at mdBase + (appAddr / wordSize). This container is the
+ * single source of truth for metadata values; the MD cache and the FSQ
+ * are timing/coherence overlays on top of it.
+ */
+
+#ifndef FADE_MEM_SHADOW_HH
+#define FADE_MEM_SHADOW_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Base of the metadata region in the monitor's address space. */
+constexpr Addr mdBase = Addr(1) << 32;
+
+/** Metadata address holding the shadow byte for an application word. */
+constexpr Addr
+mdAddrOf(Addr appAddr)
+{
+    return mdBase + appAddr / wordSize;
+}
+
+/**
+ * Page-granular sparse byte store. Unmapped bytes read as the
+ * configurable default value (monitors set this to their "unallocated" /
+ * "untainted" encoding).
+ */
+class ShadowMemory
+{
+  public:
+    explicit ShadowMemory(std::uint8_t defaultValue = 0)
+        : default_(defaultValue)
+    {}
+
+    std::uint8_t
+    read(Addr mdAddr) const
+    {
+        auto it = pages_.find(pageAlign(mdAddr));
+        if (it == pages_.end())
+            return default_;
+        return (*it->second)[mdAddr & (pageSize - 1)];
+    }
+
+    void
+    write(Addr mdAddr, std::uint8_t v)
+    {
+        page(mdAddr)[mdAddr & (pageSize - 1)] = v;
+    }
+
+    /** Set a contiguous metadata byte range to a value. */
+    void
+    fill(Addr mdAddr, std::uint64_t len, std::uint8_t v)
+    {
+        for (std::uint64_t i = 0; i < len; ++i)
+            write(mdAddr + i, v);
+    }
+
+    /** Convenience: read the shadow byte of an application word. */
+    std::uint8_t
+    readApp(Addr appAddr) const
+    {
+        return read(mdAddrOf(appAddr));
+    }
+
+    /** Convenience: write the shadow byte of an application word. */
+    void
+    writeApp(Addr appAddr, std::uint8_t v)
+    {
+        write(mdAddrOf(appAddr), v);
+    }
+
+    /** Set the shadow of an application byte range (word granular). */
+    void
+    fillApp(Addr appAddr, std::uint64_t lenBytes, std::uint8_t v)
+    {
+        Addr first = appAddr / wordSize;
+        Addr last = (appAddr + (lenBytes ? lenBytes : 1) - 1) / wordSize;
+        fill(mdBase + first, last - first + 1, v);
+    }
+
+    std::uint8_t defaultValue() const { return default_; }
+    std::size_t mappedPages() const { return pages_.size(); }
+
+    void
+    clear()
+    {
+        pages_.clear();
+    }
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    Page &
+    page(Addr mdAddr)
+    {
+        auto &slot = pages_[pageAlign(mdAddr)];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(default_);
+        }
+        return *slot;
+    }
+
+    std::uint8_t default_;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace fade
+
+#endif // FADE_MEM_SHADOW_HH

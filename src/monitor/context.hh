@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared monitoring state: the functional metadata store that both the
+ * FADE hardware model and the software monitor operate on. The shadow
+ * memory holds per-application-word critical metadata; the MD register
+ * file holds per-architectural-register critical metadata. Software
+ * handlers and FADE's Metadata Write stage update the same canonical
+ * storage (the paper's Non-Blocking updates are non-speculative and
+ * match what the handler later writes, so a single copy is faithful).
+ */
+
+#ifndef FADE_MONITOR_CONTEXT_HH
+#define FADE_MONITOR_CONTEXT_HH
+
+#include <cstdint>
+
+#include "core/regfiles.hh"
+#include "mem/shadow.hh"
+
+namespace fade
+{
+
+/** Canonical critical-metadata state shared by hardware and software. */
+struct MonitorContext
+{
+    explicit MonitorContext(std::uint8_t shadowDefault = 0)
+        : shadow(shadowDefault)
+    {}
+
+    ShadowMemory shadow;
+    MdRegFile regMd;
+};
+
+} // namespace fade
+
+#endif // FADE_MONITOR_CONTEXT_HH

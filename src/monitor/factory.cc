@@ -1,0 +1,45 @@
+#include "monitor/factory.hh"
+
+#include "monitor/addrcheck.hh"
+#include "monitor/atomcheck.hh"
+#include "monitor/memcheck.hh"
+#include "monitor/memleak.hh"
+#include "monitor/taintcheck.hh"
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+std::unique_ptr<Monitor>
+makeMonitor(const std::string &name)
+{
+    if (name == "AddrCheck")
+        return std::make_unique<AddrCheck>();
+    if (name == "MemCheck")
+        return std::make_unique<MemCheck>();
+    if (name == "TaintCheck")
+        return std::make_unique<TaintCheck>();
+    if (name == "MemLeak")
+        return std::make_unique<MemLeak>();
+    if (name == "AtomCheck")
+        return std::make_unique<AtomCheck>();
+    fatal("unknown monitor: ", name);
+}
+
+const std::vector<std::string> &
+monitorNames()
+{
+    static const std::vector<std::string> v = {
+        "AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "TaintCheck",
+    };
+    return v;
+}
+
+bool
+isPropagationMonitor(const std::string &name)
+{
+    return name == "MemCheck" || name == "MemLeak" ||
+           name == "TaintCheck";
+}
+
+} // namespace fade

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Factory for the five lifeguards evaluated in the paper (Section 6).
+ */
+
+#ifndef FADE_MONITOR_FACTORY_HH
+#define FADE_MONITOR_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.hh"
+
+namespace fade
+{
+
+/** Instantiate a monitor by name (AddrCheck, MemCheck, TaintCheck,
+ *  MemLeak, AtomCheck). Fatal on unknown names. */
+std::unique_ptr<Monitor> makeMonitor(const std::string &name);
+
+/** All monitor names, in the paper's presentation order. */
+const std::vector<std::string> &monitorNames();
+
+/** True for the propagation-tracking monitors (Section 3.1). */
+bool isPropagationMonitor(const std::string &name);
+
+} // namespace fade
+
+#endif // FADE_MONITOR_FACTORY_HH

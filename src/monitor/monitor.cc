@@ -1,0 +1,18 @@
+#include "monitor/monitor.hh"
+
+namespace fade
+{
+
+HandlerClass
+Monitor::classifyHandler(const UnfilteredEvent &u,
+                         const MonitorContext &ctx) const
+{
+    (void)ctx;
+    if (u.ev.isStackUpdate())
+        return HandlerClass::StackUpdate;
+    if (u.ev.isHighLevel())
+        return HandlerClass::HighLevel;
+    return HandlerClass::Update;
+}
+
+} // namespace fade

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Base class for instruction-grain monitors (lifeguards). A monitor
+ * defines: which instructions are monitored (producer-side selection),
+ * how FADE is programmed for it (event table + INV RF contents), the
+ * functional software handlers that maintain metadata and detect bugs,
+ * and the handler instruction sequences executed on the monitor core's
+ * timing model.
+ */
+
+#ifndef FADE_MONITOR_MONITOR_HH
+#define FADE_MONITOR_MONITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/event_table.hh"
+#include "core/regfiles.hh"
+#include "isa/event.hh"
+#include "isa/instruction.hh"
+#include "isa/layout.hh"
+#include "monitor/context.hh"
+
+namespace fade
+{
+
+/** A detected bug / security alert. */
+struct BugReport
+{
+    std::string kind;
+    Addr pc = 0;
+    Addr addr = 0;
+    std::uint64_t seq = 0;
+    std::string detail;
+};
+
+/** Handler classes for the Fig. 4(a) execution-time breakdown. */
+enum class HandlerClass : std::uint8_t
+{
+    CheckOnly,   ///< clean-check style handler (no metadata update)
+    Update,      ///< performs metadata updates (redundant-update style)
+    StackUpdate, ///< bulk frame metadata initialization
+    HighLevel,   ///< malloc / free / taint-source handling
+};
+
+/**
+ * Abstract monitor. Subclasses implement the five lifeguards evaluated
+ * in the paper (Section 6): AddrCheck, MemCheck, TaintCheck, MemLeak,
+ * and AtomCheck.
+ */
+class Monitor
+{
+  public:
+    virtual ~Monitor() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Default (unmapped) shadow metadata byte. */
+    virtual std::uint8_t shadowDefault() const = 0;
+
+    /** Initial critical metadata of architectural registers. */
+    virtual std::uint8_t regMdInit() const { return shadowDefault(); }
+
+    /**
+     * Producer-side event selection: true when the retired instruction
+     * generates a monitored event (Section 3.1). High-level pseudo
+     * instructions query this too.
+     */
+    virtual bool monitored(const Instruction &inst) const = 0;
+
+    /** Program the event table and INV RF for this monitor. */
+    virtual void programFade(EventTable &table, InvRegFile &inv) const = 0;
+
+    /**
+     * Establish the startup metadata state: globals and the initial
+     * stack frames have been allocated/initialized by the loader and
+     * startup code before monitoring begins.
+     */
+    virtual void
+    initShadow(MonitorContext &ctx, const WorkloadLayout &l) const
+    {
+        (void)ctx;
+        (void)l;
+    }
+
+    /**
+     * Functional software handler: apply the canonical metadata
+     * transition for the event and report any detected bug. Called when
+     * the handler completes on the monitor core (and for every
+     * monitored event in unaccelerated systems). Must be idempotent
+     * with respect to hardware-filtered events: a filtered event's
+     * transition never changes metadata.
+     */
+    virtual void handleEvent(const UnfilteredEvent &u,
+                             MonitorContext &ctx) = 0;
+
+    /**
+     * Append the handler's dynamic instruction sequence for the monitor
+     * core's timing model. When @p u.hwChecked is false (unaccelerated
+     * system) the sequence includes the software check path that FADE
+     * would otherwise elide.
+     */
+    virtual void buildHandlerSeq(const UnfilteredEvent &u,
+                                 const MonitorContext &ctx,
+                                 std::vector<Instruction> &out) const = 0;
+
+    /** Classify the handler for the Fig. 4(a) time breakdown. */
+    virtual HandlerClass classifyHandler(const UnfilteredEvent &u,
+                                         const MonitorContext &ctx) const;
+
+    /**
+     * A software thread switch occurred (time-sliced multithreaded
+     * workloads). AtomCheck updates the current-thread INV register.
+     */
+    virtual void
+    onThreadSwitch(ThreadId tid, InvRegFile *inv)
+    {
+        (void)tid;
+        (void)inv;
+    }
+
+    /** End of run (MemLeak's final reachability accounting). */
+    virtual void finish() {}
+
+    const std::vector<BugReport> &reports() const { return reports_; }
+    void clearReports() { reports_.clear(); }
+
+  protected:
+    void
+    report(std::string kind, const MonEvent &ev, std::string detail = "")
+    {
+        BugReport r;
+        r.kind = std::move(kind);
+        r.pc = ev.appPc;
+        r.addr = ev.appAddr;
+        r.seq = ev.seq;
+        r.detail = std::move(detail);
+        reports_.push_back(std::move(r));
+    }
+
+  private:
+    std::vector<BugReport> reports_;
+};
+
+} // namespace fade
+
+#endif // FADE_MONITOR_MONITOR_HH

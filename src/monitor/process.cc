@@ -1,0 +1,87 @@
+#include "monitor/process.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+MonitorProcess::MonitorProcess(Monitor &m, MonitorContext &ctx, Fade *fade,
+                               BoundedQueue<UnfilteredEvent> *ueq,
+                               BoundedQueue<MonEvent> *eq)
+    : mon_(m), ctx_(ctx), fade_(fade), ueq_(ueq), eq_(eq)
+{
+    fatal_if(!!ueq == !!eq,
+             "MonitorProcess needs exactly one input queue");
+}
+
+bool
+MonitorProcess::startNextHandler()
+{
+    UnfilteredEvent u;
+    if (ueq_) {
+        if (ueq_->empty())
+            return false;
+        u = ueq_->pop();
+    } else {
+        if (eq_->empty())
+            return false;
+        u.ev = eq_->pop();
+        u.hwChecked = false;
+    }
+
+    seq_.clear();
+    fetchIdx_ = 0;
+    mon_.buildHandlerSeq(u, ctx_, seq_);
+    panic_if(seq_.empty(), "monitor handler sequence must be non-empty");
+
+    PendingHandler p;
+    p.u = u;
+    p.remaining = seq_.size();
+    p.cls = mon_.classifyHandler(u, ctx_);
+    pending_.push_back(std::move(p));
+    return true;
+}
+
+bool
+MonitorProcess::available()
+{
+    if (fetchIdx_ < seq_.size())
+        return true;
+    return startNextHandler();
+}
+
+Instruction
+MonitorProcess::fetch()
+{
+    panic_if(fetchIdx_ >= seq_.size(), "fetch beyond handler sequence");
+    return seq_[fetchIdx_++];
+}
+
+void
+MonitorProcess::onCommit(const Instruction &inst)
+{
+    (void)inst;
+    panic_if(pending_.empty(), "monitor commit with no pending handler");
+    ++stats_.instructions;
+    PendingHandler &head = pending_.front();
+    ++stats_.instrByClass[static_cast<unsigned>(head.cls)];
+    panic_if(head.remaining == 0, "pending handler underflow");
+    if (--head.remaining == 0) {
+        // Handler complete: apply its functional effects and notify the
+        // accelerator so it can release FSQ entries / unblock.
+        mon_.handleEvent(head.u, ctx_);
+        if (fade_)
+            fade_->handlerDone(head.u.ev.seq);
+        ++stats_.handlers;
+        pending_.pop_front();
+    }
+}
+
+bool
+MonitorProcess::idle() const
+{
+    bool inputEmpty = ueq_ ? ueq_->empty() : eq_->empty();
+    return pending_.empty() && fetchIdx_ >= seq_.size() && inputEmpty;
+}
+
+} // namespace fade

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The monitor software process: the unfiltered event consumer of Fig. 1.
+ * Runs on a core (or hardware thread) as an instruction source/sink
+ * pair: it pops events from its input queue, supplies the handler's
+ * dynamic instruction sequence to the core's timing model, and — when
+ * the handler's last instruction commits — applies the handler's
+ * functional effects and notifies FADE of the completion (releasing FSQ
+ * entries / unblocking the baseline pipeline).
+ *
+ * In accelerated systems the input is the unfiltered event queue fed by
+ * FADE; in unaccelerated systems it is the event queue itself, and each
+ * handler additionally includes the check path FADE would have elided.
+ */
+
+#ifndef FADE_MONITOR_PROCESS_HH
+#define FADE_MONITOR_PROCESS_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/fade.hh"
+#include "cpu/source.hh"
+#include "isa/event.hh"
+#include "monitor/monitor.hh"
+#include "sim/queue.hh"
+
+namespace fade
+{
+
+/** Statistics of the monitor software process. */
+struct MonitorProcessStats
+{
+    std::uint64_t handlers = 0;
+    std::uint64_t instructions = 0;
+    /** Committed handler instructions by handler class (Fig. 4(a)). */
+    std::array<std::uint64_t, 4> instrByClass{};
+};
+
+/**
+ * Software monitor execution engine. Implements InstSource (handler
+ * instruction supply) and CommitSink (handler completion detection) for
+ * the monitor hardware thread.
+ */
+class MonitorProcess : public InstSource, public CommitSink
+{
+  public:
+    /**
+     * @param m      the lifeguard
+     * @param ctx    canonical metadata state
+     * @param fade   accelerator to notify of completions (may be null)
+     * @param ueq    unfiltered event queue (accelerated systems)
+     * @param eq     raw event queue (unaccelerated systems)
+     *
+     * Exactly one of @p ueq / @p eq must be non-null.
+     */
+    MonitorProcess(Monitor &m, MonitorContext &ctx, Fade *fade,
+                   BoundedQueue<UnfilteredEvent> *ueq,
+                   BoundedQueue<MonEvent> *eq);
+
+    bool available() override;
+    Instruction fetch() override;
+    void onCommit(const Instruction &inst) override;
+
+    /** No handler in flight and the input queue is empty. */
+    bool idle() const;
+
+    const MonitorProcessStats &stats() const { return stats_; }
+    void resetStats() { stats_ = MonitorProcessStats{}; }
+
+  private:
+    /** Pop the next event and build its handler sequence. */
+    bool startNextHandler();
+
+    struct PendingHandler
+    {
+        UnfilteredEvent u;
+        std::uint64_t remaining = 0; ///< instructions not yet committed
+        HandlerClass cls = HandlerClass::Update;
+    };
+
+    Monitor &mon_;
+    MonitorContext &ctx_;
+    Fade *fade_;
+    BoundedQueue<UnfilteredEvent> *ueq_;
+    BoundedQueue<MonEvent> *eq_;
+
+    std::vector<Instruction> seq_;
+    std::size_t fetchIdx_ = 0;
+    /** Handlers whose instructions are (partly) in flight. */
+    std::deque<PendingHandler> pending_;
+
+    ThreadId lastTid_ = 0;
+    bool seenTid_ = false;
+
+    MonitorProcessStats stats_;
+};
+
+} // namespace fade
+
+#endif // FADE_MONITOR_PROCESS_HH

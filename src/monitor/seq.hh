@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Builder for software handler instruction sequences. Handlers are
+ * modelled as short dynamic instruction sequences with realistic
+ * register dependences and metadata/queue memory references, so the
+ * monitor core's timing model (and its caches) see representative
+ * work: high-locality, ILP-rich code that runs markedly faster on wide
+ * OoO cores than in-order ones — the core-type sensitivity the paper
+ * observes in Fig. 10.
+ */
+
+#ifndef FADE_MONITOR_SEQ_HH
+#define FADE_MONITOR_SEQ_HH
+
+#include <vector>
+
+#include "isa/event.hh"
+#include "isa/instruction.hh"
+#include "mem/shadow.hh"
+
+namespace fade
+{
+
+/** Monitor-address-space region holding the event queue buffers. */
+constexpr Addr ueqBufBase = Addr(2) << 32;
+/** Monitor-address-space region holding private monitor tables. */
+constexpr Addr monTableBase = Addr(3) << 32;
+/** Monitor handler code region (handler PCs live here). */
+constexpr Addr handlerCodeBase = Addr(4) << 32;
+
+/** Fluent builder appending instructions to a handler sequence. */
+class SeqBuilder
+{
+  public:
+    SeqBuilder(std::vector<Instruction> &out, Addr pc, ThreadId tid)
+        : out_(out), pc_(pc), tid_(tid)
+    {}
+
+    /** Independent ALU op (short dependence chains, ILP-friendly). */
+    SeqBuilder &
+    alu(unsigned nsrc = 2)
+    {
+        Instruction i = base(InstClass::IntAlu);
+        i.numSrc = std::uint8_t(nsrc);
+        i.src1 = cursor(3);
+        i.src2 = cursor(5);
+        i.hasDst = true;
+        i.dst = nextDst();
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** ALU op consuming the previous instruction's result. */
+    SeqBuilder &
+    aluDep()
+    {
+        Instruction i = base(InstClass::IntAlu);
+        i.numSrc = 2;
+        i.src1 = lastDst_;
+        i.src2 = cursor(5);
+        i.hasDst = true;
+        i.dst = nextDst();
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** Load from @p addr; result starts a new dependence chain. */
+    SeqBuilder &
+    load(Addr addr)
+    {
+        Instruction i = base(InstClass::Load);
+        i.memAddr = addr;
+        i.numSrc = 1;
+        i.src1 = cursor(3);
+        i.hasDst = true;
+        i.dst = nextDst();
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** Load whose address depends on the previous result. */
+    SeqBuilder &
+    loadDep(Addr addr)
+    {
+        Instruction i = base(InstClass::Load);
+        i.memAddr = addr;
+        i.numSrc = 1;
+        i.src1 = lastDst_;
+        i.hasDst = true;
+        i.dst = nextDst();
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** Store the previous result to @p addr. */
+    SeqBuilder &
+    store(Addr addr)
+    {
+        Instruction i = base(InstClass::Store);
+        i.memAddr = addr;
+        i.numSrc = 2;
+        i.src1 = lastDst_;
+        i.src2 = cursor(3);
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** Conditional branch consuming the previous result. */
+    SeqBuilder &
+    branch(bool mispredict = false)
+    {
+        Instruction i = base(InstClass::Branch);
+        i.numSrc = 1;
+        i.src1 = lastDst_;
+        i.mispredict = mispredict;
+        out_.push_back(i);
+        return *this;
+    }
+
+    /** Indirect jump (handler dispatch) on the previous result. */
+    SeqBuilder &
+    jumpInd()
+    {
+        Instruction i = base(InstClass::JumpInd);
+        i.numSrc = 1;
+        i.src1 = lastDst_;
+        out_.push_back(i);
+        return *this;
+    }
+
+    std::size_t size() const { return out_.size(); }
+
+    /**
+     * Standard handler dispatch prologue: read the queue slot, decode
+     * the event, and jump to the handler.
+     */
+    SeqBuilder &
+    dispatch(std::uint64_t seq, std::size_t qcap)
+    {
+        Addr slot = ueqBufBase + (seq % (qcap ? qcap : 16)) * 32;
+        load(slot);
+        loadDep(slot + 8);
+        aluDep();
+        jumpInd();
+        return *this;
+    }
+
+  private:
+    Instruction
+    base(InstClass c)
+    {
+        Instruction i;
+        i.cls = c;
+        i.pc = pc_;
+        i.tid = tid_;
+        pc_ += 4;
+        return i;
+    }
+
+    RegIndex
+    nextDst()
+    {
+        // Rotate destinations over r1..r10 so consecutive ops form
+        // short, mostly independent chains.
+        rr_ = RegIndex(rr_ % 10 + 1);
+        lastDst_ = rr_;
+        return rr_;
+    }
+
+    RegIndex
+    cursor(unsigned stride) const
+    {
+        return RegIndex((rr_ + stride) % 10 + 1);
+    }
+
+    std::vector<Instruction> &out_;
+    Addr pc_;
+    ThreadId tid_;
+    RegIndex rr_ = 1;
+    RegIndex lastDst_ = 1;
+};
+
+} // namespace fade
+
+#endif // FADE_MONITOR_SEQ_HH

@@ -1,0 +1,129 @@
+#include "power/model.hh"
+
+#include <cmath>
+
+namespace fade
+{
+
+FadeInventory
+inventoryFor(const FadeParams &p, std::size_t eqEntries,
+             std::size_t ueqEntries)
+{
+    FadeInventory inv;
+    inv.eventQueueEntries = unsigned(eqEntries);
+    inv.unfilteredQueueEntries = unsigned(ueqEntries);
+    inv.fsqEntries = unsigned(p.fsqEntries);
+    if (!p.nonBlocking) {
+        // Baseline FADE omits the striped structures of Fig. 5.
+        inv.fsqEntries = 0;
+        inv.mdUpdateGates = 0;
+        inv.pipelineLatchBits = 4 * 220;
+    }
+    return inv;
+}
+
+namespace
+{
+
+AreaPower
+flopArray(const std::string &name, std::uint64_t bits,
+          const TechParams &t)
+{
+    AreaPower ap;
+    ap.component = name;
+    ap.areaMm2 = bits * t.flopAreaUm2 * 1e-6;
+    ap.powerMw = bits * t.flopPowerUw * 1e-3 * (1.0 + t.clockOverhead) *
+                 (t.frequencyGhz / 2.0);
+    return ap;
+}
+
+AreaPower
+logicBlock(const std::string &name, std::uint64_t gates,
+           const TechParams &t)
+{
+    AreaPower ap;
+    ap.component = name;
+    ap.areaMm2 = gates * t.gateAreaUm2 * 1e-6;
+    ap.powerMw = gates * t.gatePowerUw * 1e-3 * (t.frequencyGhz / 2.0);
+    return ap;
+}
+
+} // namespace
+
+std::vector<AreaPower>
+fadeLogicBreakdown(const FadeInventory &inv, const TechParams &tech)
+{
+    std::vector<AreaPower> v;
+    v.push_back(flopArray(
+        "event table",
+        std::uint64_t(inv.eventTableEntries) * inv.eventTableEntryBits,
+        tech));
+    v.push_back(flopArray(
+        "event queue",
+        std::uint64_t(inv.eventQueueEntries) * inv.eventQueueEntryBits,
+        tech));
+    v.push_back(flopArray("unfiltered queue",
+                          std::uint64_t(inv.unfilteredQueueEntries) *
+                              inv.unfilteredQueueEntryBits,
+                          tech));
+    v.push_back(flopArray("INV RF",
+                          std::uint64_t(inv.invRegs) * inv.invRegBits,
+                          tech));
+    v.push_back(flopArray("MD RF",
+                          std::uint64_t(inv.mdRfEntries) * inv.mdRfBits,
+                          tech));
+    v.push_back(flopArray("FSQ",
+                          std::uint64_t(inv.fsqEntries) * inv.fsqEntryBits,
+                          tech));
+    v.push_back(
+        flopArray("pipeline latches", inv.pipelineLatchBits, tech));
+    v.push_back(logicBlock("filter logic",
+                           std::uint64_t(inv.comparatorBlocks) *
+                               inv.gatesPerComparator,
+                           tech));
+    v.push_back(logicBlock("control", inv.controlGates, tech));
+    v.push_back(logicBlock("SUU", inv.suuGates, tech));
+    v.push_back(logicBlock("MD update logic", inv.mdUpdateGates, tech));
+    return v;
+}
+
+AreaPower
+fadeLogicTotal(const FadeInventory &inv, const TechParams &tech)
+{
+    AreaPower total;
+    total.component = "FADE logic";
+    for (const auto &c : fadeLogicBreakdown(inv, tech)) {
+        total.areaMm2 += c.areaMm2;
+        total.powerMw += c.powerMw;
+    }
+    return total;
+}
+
+AreaPower
+mdCacheAreaPower(const MdCacheParams &p, const TechParams &tech)
+{
+    AreaPower ap;
+    ap.component = "MD cache";
+    std::uint64_t dataBits = p.sizeBytes * 8;
+    // Tag bits: one tag per block; ~20 tag+state bits each.
+    std::uint64_t blocks = p.sizeBytes / p.blockBytes;
+    std::uint64_t tagBits = blocks * 20;
+    // TLB: ~64 bits per entry (VPN + PPN + state).
+    std::uint64_t tlbBits = std::uint64_t(p.tlbEntries) * 64;
+    std::uint64_t bits = dataBits + tagBits + tlbBits;
+    ap.areaMm2 = bits * tech.sramBitAreaUm2 * 1e-6;
+    ap.powerMw = bits * tech.sramBitPowerUw * 1e-3 *
+                 (tech.frequencyGhz / 2.0);
+    return ap;
+}
+
+double
+mdCacheAccessNs(const MdCacheParams &p, const TechParams &tech)
+{
+    // CACTI-like sqrt-of-capacity scaling, anchored at 0.3ns for the
+    // paper's 4KB design point.
+    double kb = double(p.sizeBytes) / 1024.0;
+    return tech.sramAccessNsPerKb * 4.0 * std::sqrt(kb / 4.0) + 0.012;
+}
+
+} // namespace fade

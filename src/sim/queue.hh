@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bounded FIFO with occupancy instrumentation. Models the decoupling
+ * queues of the monitoring system: the 32-entry event queue between the
+ * application core and FADE, and the 16-entry unfiltered event queue
+ * between FADE and the monitor (Sections 3.2 and 3.4 of the paper).
+ */
+
+#ifndef FADE_SIM_QUEUE_HH
+#define FADE_SIM_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace fade
+{
+
+/**
+ * A bounded FIFO. Capacity 0 means unbounded (used for the infinite
+ * event-queue occupancy study of Fig. 3(a,b)). Occupancy is sampled into
+ * a log2 histogram on every push, matching the paper's methodology of
+ * recording the queue depth seen by each arriving event.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {}
+
+    /** True when a push would be rejected. */
+    bool
+    full() const
+    {
+        return capacity_ != 0 && q_.size() >= capacity_;
+    }
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Append an entry.
+     * @return false (and counts a rejection) when the queue is full.
+     */
+    bool
+    push(const T &v)
+    {
+        if (full()) {
+            ++rejects_;
+            return false;
+        }
+        q_.push_back(v);
+        ++pushes_;
+        occupancy_.sample(q_.size());
+        return true;
+    }
+
+    /** Front entry; queue must be non-empty. */
+    const T &
+    front() const
+    {
+        panic_if(q_.empty(), "front() on empty queue");
+        return q_.front();
+    }
+
+    T &
+    front()
+    {
+        panic_if(q_.empty(), "front() on empty queue");
+        return q_.front();
+    }
+
+    /** Remove and return the front entry; queue must be non-empty. */
+    T
+    pop()
+    {
+        panic_if(q_.empty(), "pop() on empty queue");
+        T v = q_.front();
+        q_.pop_front();
+        ++pops_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        q_.clear();
+    }
+
+    /** Iteration support (the FSQ searches its entries associatively). */
+    auto begin() { return q_.begin(); }
+    auto end() { return q_.end(); }
+    auto begin() const { return q_.begin(); }
+    auto end() const { return q_.end(); }
+
+    std::uint64_t pushes() const { return pushes_; }
+    std::uint64_t pops() const { return pops_; }
+    std::uint64_t rejects() const { return rejects_; }
+    const Log2Histogram &occupancy() const { return occupancy_; }
+
+    void
+    resetStats()
+    {
+        pushes_ = pops_ = rejects_ = 0;
+        occupancy_.reset();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> q_;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t rejects_ = 0;
+    Log2Histogram occupancy_;
+};
+
+} // namespace fade
+
+#endif // FADE_SIM_QUEUE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32). Every stochastic
+ * decision in the simulator draws from an explicitly seeded Rng so that
+ * experiments are exactly reproducible.
+ */
+
+#ifndef FADE_SIM_RANDOM_HH
+#define FADE_SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace fade
+{
+
+/**
+ * PCG32 generator (O'Neill). Small state, good statistical quality, and
+ * cheap enough for per-instruction decisions in the workload generator.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+    }
+
+    /** Uniform in [0, n). Returns 0 when n == 0. */
+    std::uint32_t
+    range(std::uint32_t n)
+    {
+        if (n == 0)
+            return 0;
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(next()) * n) >> 32);
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric number of trials until success with parameter @p p,
+     * clamped to at least 1 (and at most @p cap when cap > 0).
+     */
+    unsigned
+    geometric(double p, unsigned cap = 0)
+    {
+        if (p >= 1.0)
+            return 1;
+        if (p <= 0.0)
+            return cap ? cap : 1;
+        double u = uniform();
+        double v = std::log1p(-u) / std::log1p(-p);
+        auto n = static_cast<unsigned>(v) + 1;
+        if (cap && n > cap)
+            n = cap;
+        return n;
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace fade
+
+#endif // FADE_SIM_RANDOM_HH

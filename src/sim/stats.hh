@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Lightweight statistics containers: running scalar statistics, log2
+ * histograms (used for queue-occupancy CDFs, Fig. 3 of the paper), and
+ * linear histograms for burst/distance distributions (Fig. 4).
+ */
+
+#ifndef FADE_SIM_STATS_HH
+#define FADE_SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fade
+{
+
+/** Mean / min / max / stddev over a stream of samples. */
+class RunningStat
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++n_;
+        sum_ += v;
+        sumSq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        double m = mean();
+        double var = sumSq_ / n_ - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = sumSq_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram with power-of-two bucket boundaries: bucket k counts samples
+ * in [2^(k-1), 2^k), with bucket 0 counting exact zeros and bucket 1
+ * counting exact ones. Mirrors the paper's Fig. 3/4 log-scale axes.
+ */
+class Log2Histogram
+{
+  public:
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        unsigned b = bucketOf(v);
+        if (b >= counts_.size())
+            counts_.resize(b + 1, 0);
+        counts_[b] += weight;
+        total_ += weight;
+        max_ = std::max(max_, v);
+    }
+
+    /** Bucket index for a value. */
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        unsigned b = 1;
+        while (v > 1) {
+            v >>= 1;
+            ++b;
+        }
+        return b;
+    }
+
+    /** Upper bound (inclusive) of bucket b: 0, 1, 2, 4, 8, ... */
+    static std::uint64_t
+    bucketUpper(unsigned b)
+    {
+        return b == 0 ? 0 : (std::uint64_t(1) << (b - 1));
+    }
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t maxValue() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Fraction of samples with value <= @p v. */
+    double
+    cdfAt(std::uint64_t v) const
+    {
+        if (total_ == 0)
+            return 1.0;
+        std::uint64_t acc = 0;
+        for (unsigned b = 0; b < counts_.size(); ++b) {
+            if (bucketUpper(b) > v)
+                break;
+            acc += counts_[b];
+        }
+        return static_cast<double>(acc) / total_;
+    }
+
+    /** Smallest power-of-two bucket bound covering fraction @p p. */
+    std::uint64_t
+    percentile(double p) const
+    {
+        if (total_ == 0)
+            return 0;
+        std::uint64_t need =
+            static_cast<std::uint64_t>(std::ceil(p * total_));
+        std::uint64_t acc = 0;
+        for (unsigned b = 0; b < counts_.size(); ++b) {
+            acc += counts_[b];
+            if (acc >= need)
+                return bucketUpper(b);
+        }
+        return bucketUpper(counts_.empty() ? 0
+                                           : unsigned(counts_.size() - 1));
+    }
+
+    void
+    reset()
+    {
+        counts_.clear();
+        total_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/** Fixed-width linear histogram with an overflow bucket. */
+class LinearHistogram
+{
+  public:
+    explicit LinearHistogram(std::uint64_t bucketWidth = 1,
+                             unsigned numBuckets = 64)
+        : width_(bucketWidth ? bucketWidth : 1),
+          counts_(numBuckets + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t v, std::uint64_t weight = 1)
+    {
+        std::uint64_t b = v / width_;
+        if (b >= counts_.size() - 1)
+            b = counts_.size() - 1;
+        counts_[b] += weight;
+        total_ += weight;
+        stat_.sample(static_cast<double>(v));
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    const RunningStat &stat() const { return stat_; }
+
+    /**
+     * Fraction of samples falling in buckets wholly at or below @p v
+     * (the overflow bucket is never included).
+     */
+    double
+    cdfAt(std::uint64_t v) const
+    {
+        if (total_ == 0)
+            return 1.0;
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b + 1 < counts_.size(); ++b) {
+            if ((b + 1) * width_ - 1 <= v)
+                acc += counts_[b];
+        }
+        return static_cast<double>(acc) / total_;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counts_.begin(), counts_.end(), 0);
+        total_ = 0;
+        stat_.reset();
+    }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    RunningStat stat_;
+};
+
+/** Geometric mean over a set of ratios (the paper reports gmeans). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / xs.size());
+}
+
+} // namespace fade
+
+#endif // FADE_SIM_STATS_HH

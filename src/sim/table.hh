@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-vs-measured rows for every reproduced figure and table.
+ */
+
+#ifndef FADE_SIM_TABLE_HH
+#define FADE_SIM_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fade
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    /** Append a data row. */
+    void
+    row(std::vector<std::string> cols)
+    {
+        rows_.push_back(std::move(cols));
+    }
+
+    /** Render with two-space gutters and a rule under the header. */
+    std::string
+    str() const
+    {
+        std::vector<std::size_t> w;
+        auto grow = [&](const std::vector<std::string> &r) {
+            if (r.size() > w.size())
+                w.resize(r.size(), 0);
+            for (std::size_t i = 0; i < r.size(); ++i)
+                w[i] = std::max(w[i], r[i].size());
+        };
+        grow(header_);
+        for (const auto &r : rows_)
+            grow(r);
+
+        std::string out;
+        auto emit = [&](const std::vector<std::string> &r) {
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                std::string cell = i < r.size() ? r[i] : "";
+                out += cell;
+                if (i + 1 < w.size())
+                    out += std::string(w[i] - cell.size() + 2, ' ');
+            }
+            out += '\n';
+        };
+        emit(header_);
+        std::size_t rule = 0;
+        for (std::size_t i = 0; i < w.size(); ++i)
+            rule += w[i] + (i + 1 < w.size() ? 2 : 0);
+        out += std::string(rule, '-') + '\n';
+        for (const auto &r : rows_)
+            emit(r);
+        return out;
+    }
+
+    void
+    print() const
+    {
+        std::fputs(str().c_str(), stdout);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+inline std::string
+fmt(const char *spec, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+/** Format a ratio like "1.42x". */
+inline std::string
+fmtX(double v)
+{
+    return fmt("%.2f", v) + "x";
+}
+
+/** Format a fraction as a percentage like "98.5%". */
+inline std::string
+fmtPct(double v)
+{
+    return fmt("%.1f", v * 100.0) + "%";
+}
+
+} // namespace fade
+
+#endif // FADE_SIM_TABLE_HH

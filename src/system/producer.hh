@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Producer-side event extraction (the "event producer" of Fig. 1). As
+ * monitored instructions retire on the application core, events are
+ * built and enqueued into the event queue; unmonitored instructions are
+ * eliminated at the source. A full event queue stalls retirement
+ * (backpressure, Section 3.2).
+ */
+
+#ifndef FADE_SYSTEM_PRODUCER_HH
+#define FADE_SYSTEM_PRODUCER_HH
+
+#include <cstdint>
+
+#include "core/fade.hh"
+#include "cpu/source.hh"
+#include "isa/event.hh"
+#include "monitor/monitor.hh"
+#include "sim/queue.hh"
+
+namespace fade
+{
+
+/** Retirement-side event extraction for the application thread. */
+class EventProducer : public CommitSink
+{
+  public:
+    /**
+     * @param mon   event-selection policy (null = unmonitored baseline)
+     * @param eq    event queue (null = unmonitored baseline)
+     * @param fade  accelerator whose INV RF sees thread switches
+     */
+    EventProducer(Monitor *mon, BoundedQueue<MonEvent> *eq, Fade *fade)
+        : mon_(mon), eq_(eq), fade_(fade)
+    {}
+
+    bool
+    canCommit(const Instruction &inst) override
+    {
+        if (!mon_ || !eq_ || !mon_->monitored(inst))
+            return true;
+        if (paused_)
+            return false;
+        return !eq_->full();
+    }
+
+    /** Stall monitored retirement (used to drain the monitoring side). */
+    void pause(bool p) { paused_ = p; }
+
+    void
+    onCommit(const Instruction &inst) override
+    {
+        ++retired_;
+        if (!mon_ || !eq_)
+            return;
+
+        if (seenTid_ && inst.tid != lastTid_) {
+            // Context switch: the monitor updates its current-thread
+            // invariant register before the new thread's events flow.
+            mon_->onThreadSwitch(inst.tid,
+                                 fade_ ? &fade_->invRf() : nullptr);
+        }
+        lastTid_ = inst.tid;
+        seenTid_ = true;
+
+        if (!mon_->monitored(inst))
+            return;
+
+        MonEvent ev;
+        if (inst.isStackUpdate())
+            ev = makeStackEvent(inst, seq_);
+        else if (inst.cls == InstClass::HighLevel)
+            ev = makeHighLevelEvent(inst, seq_);
+        else
+            ev = makeInstEvent(inst, seq_);
+        ++seq_;
+        bool ok = eq_->push(ev);
+        panic_if(!ok, "event queue push after canCommit check");
+        ++produced_;
+    }
+
+    std::uint64_t retired() const { return retired_; }
+    std::uint64_t produced() const { return produced_; }
+
+    void
+    resetStats()
+    {
+        retired_ = 0;
+        produced_ = 0;
+    }
+
+  private:
+    Monitor *mon_;
+    BoundedQueue<MonEvent> *eq_;
+    Fade *fade_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t produced_ = 0;
+    ThreadId lastTid_ = 0;
+    bool seenTid_ = false;
+    bool paused_ = false;
+};
+
+} // namespace fade
+
+#endif // FADE_SYSTEM_PRODUCER_HH

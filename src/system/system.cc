@@ -1,0 +1,176 @@
+#include "system/system.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
+                                   const BenchProfile &profile,
+                                   Monitor *mon)
+    : cfg_(cfg),
+      mon_(mon),
+      ctx_(mon ? mon->shadowDefault() : 0),
+      l2_(l2Params(), nullptr, dramLatency),
+      appL1_(l1Params("app-l1d"), &l2_),
+      monL1_(l1Params("mon-l1d"), &l2_),
+      eq_(cfg.eqCapacity),
+      ueq_(cfg.ueqCapacity)
+{
+    gen_ = std::make_unique<TraceGenerator>(profile);
+
+    if (mon_) {
+        ctx_.regMd.fill(mon_->regMdInit());
+        mon_->initShadow(ctx_, gen_->layout());
+    }
+
+    if (mon_ && cfg_.accelerated && !cfg_.perfectConsumer) {
+        fade_ = std::make_unique<Fade>(cfg_.fade, ctx_, &l2_);
+        fade_->bind(&eq_, &ueq_);
+        mon_->programFade(fade_->eventTable(), fade_->invRf());
+        // Non-critical bookkeeping for SUU-handled stack updates.
+        fade_->onStackUpdate = [this](const MonEvent &ev) {
+            UnfilteredEvent u;
+            u.ev = ev;
+            mon_->handleEvent(u, ctx_);
+        };
+    }
+
+    producer_ = std::make_unique<EventProducer>(
+        mon_, mon_ ? &eq_ : nullptr, fade_.get());
+
+    if (mon_ && !cfg_.perfectConsumer) {
+        if (cfg_.accelerated) {
+            mproc_ = std::make_unique<MonitorProcess>(*mon_, ctx_,
+                                                      fade_.get(), &ueq_,
+                                                      nullptr);
+        } else {
+            mproc_ = std::make_unique<MonitorProcess>(*mon_, ctx_,
+                                                      nullptr, nullptr,
+                                                      &eq_);
+        }
+    }
+
+    if (cfg_.twoCore && mproc_) {
+        appCore_ = std::make_unique<Core>(cfg_.core, &appL1_);
+        appCore_->addThread(gen_.get(), producer_.get());
+        monCore_ = std::make_unique<Core>(cfg_.core, &monL1_);
+        monCore_->addThread(mproc_.get(), mproc_.get());
+    } else {
+        appCore_ = std::make_unique<Core>(cfg_.core, &appL1_);
+        appCore_->addThread(gen_.get(), producer_.get());
+        if (mproc_)
+            appCore_->addThread(mproc_.get(), mproc_.get());
+    }
+}
+
+void
+MonitoringSystem::tickAll()
+{
+    appCore_->tick(now_);
+    if (fade_)
+        fade_->tick(now_);
+    if (monCore_)
+        monCore_->tick(now_);
+    if (cfg_.perfectConsumer && !eq_.empty()) {
+        eq_.pop();
+        ++perfectConsumed_;
+    }
+    ++now_;
+}
+
+void
+MonitoringSystem::tickOnce()
+{
+    tickAll();
+}
+
+void
+MonitoringSystem::drain()
+{
+    // Let in-flight events and handlers complete so that measurement
+    // boundaries do not leak work across slices. Monitored retirement
+    // is paused so the (infinite) application stream stops producing.
+    producer_->pause(true);
+    Cycle limit = now_ + 2000000;
+    auto quiet = [this] {
+        if (!eq_.empty() || !ueq_.empty())
+            return false;
+        if (fade_ && !fade_->quiesced())
+            return false;
+        if (mproc_ && !mproc_->idle())
+            return false;
+        return true;
+    };
+    while (!quiet() && now_ < limit)
+        tickAll();
+    producer_->pause(false);
+    panic_if(!quiet(), "monitoring system failed to drain");
+}
+
+void
+MonitoringSystem::resetStats()
+{
+    appCore_->resetStats();
+    if (monCore_)
+        monCore_->resetStats();
+    if (fade_)
+        fade_->resetStats();
+    if (mproc_)
+        mproc_->resetStats();
+    producer_->resetStats();
+    eq_.resetStats();
+    ueq_.resetStats();
+    appL1_.resetStats();
+    monL1_.resetStats();
+    l2_.resetStats();
+    perfectConsumed_ = 0;
+}
+
+void
+MonitoringSystem::warmup(std::uint64_t instructions)
+{
+    std::uint64_t target = producer_->retired() + instructions;
+    Cycle limit = now_ + instructions * 400 + 1000000;
+    while (producer_->retired() < target && now_ < limit)
+        tickAll();
+    panic_if(producer_->retired() < target,
+             "warmup failed to make progress (deadlock?)");
+    drain();
+    resetStats();
+}
+
+RunResult
+MonitoringSystem::run(std::uint64_t instructions)
+{
+    resetStats();
+    Cycle start = now_;
+    std::uint64_t target = producer_->retired() + instructions;
+    Cycle limit = now_ + instructions * 400 + 1000000;
+    while (producer_->retired() < target && now_ < limit)
+        tickAll();
+    panic_if(producer_->retired() < target,
+             "run failed to make progress (deadlock?)");
+
+    RunResult r;
+    r.appInstructions = producer_->retired();
+    r.cycles = now_ - start;
+    r.monitoredEvents = producer_->produced();
+    r.appIpc = double(r.appInstructions) / double(r.cycles);
+    r.monitoredIpc = double(r.monitoredEvents) / double(r.cycles);
+    r.appStallCycles = appCore_->threadStats(0).sinkStallCycles;
+    if (mproc_) {
+        const Core &mc = monCore_ ? *monCore_ : *appCore_;
+        unsigned monTid = monCore_ ? 0 : 1;
+        r.monIdleCycles = mc.threadStats(monTid).idleCycles;
+        r.handlerInstructions = mproc_->stats().instructions;
+        r.handlersRun = mproc_->stats().handlers;
+    }
+    if (fade_)
+        fade_->finalizeBursts();
+    if (mon_)
+        mon_->finish();
+    return r;
+}
+
+} // namespace fade

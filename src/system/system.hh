@@ -1,0 +1,139 @@
+/**
+ * @file
+ * End-to-end monitoring system assembly (Fig. 8 of the paper). Supports
+ * four configurations:
+ *  - two-core, single-threaded cores: application core + monitor core,
+ *    FADE next to the monitor core (Fig. 8(a));
+ *  - single-core, dual-threaded: one SMT core hosting both the
+ *    application and the monitor thread (Fig. 8(b));
+ *  - the unaccelerated variants of both, where the application and the
+ *    monitor communicate through a single queue; and
+ *  - the unmonitored baseline used for slowdown normalization.
+ *
+ * Methodology mirrors the paper: a warmup slice runs first (caches,
+ * MD cache, and metadata state warm), statistics are then reset, and
+ * the measurement slice follows.
+ */
+
+#ifndef FADE_SYSTEM_SYSTEM_HH
+#define FADE_SYSTEM_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "core/fade.hh"
+#include "cpu/core.hh"
+#include "mem/cache.hh"
+#include "monitor/context.hh"
+#include "monitor/monitor.hh"
+#include "monitor/process.hh"
+#include "sim/queue.hh"
+#include "system/producer.hh"
+#include "trace/generator.hh"
+
+namespace fade
+{
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    CoreParams core = aggressiveOooParams();
+    /** FADE present (false = unaccelerated software monitoring). */
+    bool accelerated = true;
+    /** Two cores (app + monitor) vs one dual-threaded core. */
+    bool twoCore = false;
+    /** Replace the consumer with an ideal 1-event/cycle sink (the
+     *  Fig. 3 queue-occupancy study). */
+    bool perfectConsumer = false;
+    FadeParams fade;
+    std::size_t eqCapacity = 32;  ///< 0 = unbounded
+    std::size_t ueqCapacity = 16;
+};
+
+/** Results of one measured run. */
+struct RunResult
+{
+    std::uint64_t appInstructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t monitoredEvents = 0;
+    double appIpc = 0.0;
+    double monitoredIpc = 0.0;
+    /** Cycles the app thread stalled on a full event queue. */
+    std::uint64_t appStallCycles = 0;
+    /** Cycles the monitor thread had no work. */
+    std::uint64_t monIdleCycles = 0;
+    std::uint64_t handlerInstructions = 0;
+    std::uint64_t handlersRun = 0;
+};
+
+/**
+ * One monitored (or baseline) system instance. The monitor is owned by
+ * the caller so its accumulated functional state (bug reports, leak
+ * contexts) can outlive the system.
+ */
+class MonitoringSystem
+{
+  public:
+    /**
+     * @param cfg      system configuration
+     * @param profile  workload profile for the trace generator
+     * @param mon      lifeguard, or nullptr for the unmonitored baseline
+     */
+    MonitoringSystem(const SystemConfig &cfg, const BenchProfile &profile,
+                     Monitor *mon);
+
+    /** Run @p instructions app instructions without collecting stats. */
+    void warmup(std::uint64_t instructions);
+
+    /** Run a measured slice of @p instructions app instructions. */
+    RunResult run(std::uint64_t instructions);
+
+    /** The trace generator (bug injection for examples/tests). */
+    TraceGenerator &generator() { return *gen_; }
+
+    Fade *fade() { return fade_.get(); }
+    Monitor *monitor() { return mon_; }
+    MonitorContext &context() { return ctx_; }
+    const BoundedQueue<MonEvent> &eventQueue() const { return eq_; }
+    const BoundedQueue<UnfilteredEvent> &unfilteredQueue() const
+    {
+        return ueq_;
+    }
+    const MonitorProcess *monitorProcess() const { return mproc_.get(); }
+    Cycle now() const { return now_; }
+
+    /** Advance the whole system by one cycle (tests). */
+    void tickOnce();
+
+  private:
+    void tickAll();
+    void drain();
+    void resetStats();
+
+    SystemConfig cfg_;
+    Monitor *mon_;
+    MonitorContext ctx_;
+
+    Cache l2_;
+    Cache appL1_;
+    Cache monL1_;
+
+    std::unique_ptr<TraceGenerator> gen_;
+    BoundedQueue<MonEvent> eq_;
+    BoundedQueue<UnfilteredEvent> ueq_;
+
+    std::unique_ptr<Fade> fade_;
+    std::unique_ptr<MonitorProcess> mproc_;
+    std::unique_ptr<EventProducer> producer_;
+
+    std::unique_ptr<Core> appCore_; ///< also the single shared core
+    std::unique_ptr<Core> monCore_; ///< two-core config only
+
+    Cycle now_ = 0;
+    std::uint64_t perfectConsumed_ = 0;
+};
+
+} // namespace fade
+
+#endif // FADE_SYSTEM_SYSTEM_HH

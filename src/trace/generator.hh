@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Synthetic workload generator: produces a semantically coherent,
+ * deterministic dynamic instruction stream from a benchmark profile.
+ * The generator maintains a functional program skeleton — a call stack
+ * with frames, live heap allocations, registers and memory slots known
+ * to hold pointers or tainted data — so that the event stream the
+ * monitors observe is self-consistent (pointers really flow from
+ * mallocs, taint really flows from taint sources, loads really target
+ * allocated and initialized data).
+ *
+ * Bug injection: tests and examples call injectBug() to splice a
+ * deliberate violation into the stream; the offending instruction
+ * carries a ground-truth oracle bit that monitors never see.
+ */
+
+#ifndef FADE_TRACE_GENERATOR_HH
+#define FADE_TRACE_GENERATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/source.hh"
+#include "isa/instruction.hh"
+#include "isa/layout.hh"
+#include "sim/random.hh"
+#include "trace/profile.hh"
+
+namespace fade
+{
+
+/** Deterministic synthetic instruction stream for one benchmark. */
+class TraceGenerator : public InstSource
+{
+  public:
+    explicit TraceGenerator(const BenchProfile &profile);
+
+    bool available() override { return true; }
+    Instruction fetch() override;
+
+    /** Splice an injected bug into the upcoming stream. */
+    void injectBug(TruthBits kind);
+
+    /** Startup memory ranges for Monitor::initShadow. */
+    const WorkloadLayout &layout() const { return layout_; }
+
+    const BenchProfile &profile() const { return profile_; }
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Ground-truth oracles (tests): current semantic register state. */
+    bool regIsPtr(unsigned tid, RegIndex r) const
+    {
+        return threads_[tid].regPtr[r];
+    }
+    bool regIsTainted(unsigned tid, RegIndex r) const
+    {
+        return threads_[tid].regTaint[r];
+    }
+    /** Ground-truth oracle: does this word hold a pointer right now? */
+    bool wordIsPtr(Addr a) const { return ptrWords_.count(a & ~Addr(3)); }
+    bool wordIsTainted(Addr a) const
+    {
+        return taintWords_.count(a & ~Addr(3));
+    }
+
+  private:
+    struct Frame
+    {
+        Addr base = 0;        ///< low address
+        unsigned words = 0;   ///< frame size in words
+        unsigned spilled = 0; ///< slots written so far
+    };
+
+    struct Alloc
+    {
+        Addr base = 0;
+        unsigned words = 0;
+        unsigned initWords = 0; ///< initialized prefix length
+        unsigned owner = 0;     ///< allocating thread
+        /** Pointer pool / IO buffer: excluded from plain data walks. */
+        bool noWalk = false;
+    };
+
+    struct ThreadState
+    {
+        std::vector<Frame> stack;
+        Addr sp = 0;
+        std::array<bool, numArchRegs> regPtr{};
+        std::array<bool, numArchRegs> regTaint{};
+        std::vector<RegIndex> recentRegs;
+        std::vector<Addr> recentShared;
+        std::vector<Addr> ptrSlots;   ///< slots holding pointer values
+        std::vector<Addr> taintSlots; ///< slots holding tainted data
+        /** Active sequential-walk run (spatial locality model). */
+        struct SeqRun
+        {
+            Addr next = 0;
+            Addr end = 0;
+        };
+        SeqRun heapRun, globalRun;
+        Addr pc = 0x1000;
+        std::uint8_t rot = 0;
+    };
+
+    Instruction make(InstClass cls);
+    Instruction makeLoad();
+    Instruction makeStore();
+    Instruction makeAlu(bool imm);
+    Instruction makeMul();
+    Instruction makeFp();
+    Instruction makeBranch();
+    Instruction makeJumpInd();
+    Instruction emitCall();
+    Instruction emitReturn();
+    Instruction emitMalloc(bool allowFree = true, RegIndex forceDst = 0);
+    Instruction emitFree(Addr base);
+    Instruction emitTaintSource();
+
+    unsigned randomWord(std::uint64_t limitWords);
+    Addr pickStackAddr(bool forWrite);
+    Addr pickHeapAddr(bool forWrite);
+    /** A slot inside a pointer-bearing allocation (or stack). */
+    Addr pickPtrStoreAddr();
+    Addr pickGlobalAddr();
+    Addr pickSharedAddr();
+    Addr pickMemAddr(bool forWrite);
+
+    RegIndex pickSrcReg();
+    /** A recently-written register holding plain data (ordinary ops
+     *  avoid pointer/taint registers; r1 is the always-data fallback). */
+    RegIndex pickDataReg();
+    RegIndex pickDstReg();
+    /** A register currently holding a pointer, or 0 when none. When
+     *  @p transientOnly, only rotating registers qualify (so dedicated
+     *  base registers r28..r31 are never clobbered/dropped). */
+    RegIndex pickPtrReg(bool transientOnly = false);
+    /** A register currently holding tainted data, or 0 when none. */
+    RegIndex pickTaintReg();
+    void noteWrite(RegIndex r, bool isPtr, bool isTaint);
+
+    bool taintActive() const { return emitted_ < taintLiveUntil_; }
+
+    ThreadState &cur() { return threads_[curThread_]; }
+    void maybeSwitchThread();
+    void maybeFlipPhase();
+    const InstMix &mix() const;
+
+    BenchProfile profile_;
+    Rng rng_;
+
+    std::vector<ThreadState> threads_;
+    unsigned curThread_ = 0;
+    unsigned sinceSwitch_ = 0;
+
+    bool highPhase_ = true;
+    std::uint64_t phaseLeft_ = 1000;
+
+    std::vector<Alloc> liveAllocs_;
+    struct FreeBlock
+    {
+        Addr base = 0;
+        unsigned words = 0;
+        unsigned owner = 0;
+    };
+    std::vector<FreeBlock> freeList_;
+    Addr heapCursor_ = heapBase;
+    using FreeDue = std::pair<std::uint64_t, Addr>;
+    std::priority_queue<FreeDue, std::vector<FreeDue>,
+                        std::greater<FreeDue>>
+        pendingFrees_;
+
+    std::uint64_t taintLiveUntil_ = 0;
+
+    /**
+     * Ground-truth critical metadata mirrors: the exact set of word
+     * addresses currently holding pointer / tainted values. These keep
+     * the generator's register hints coherent with what a monitor's
+     * shadow propagation will compute from the event stream.
+     */
+    std::unordered_set<Addr> ptrWords_;
+    std::unordered_set<Addr> taintWords_;
+
+    void eraseWordRange(Addr base, std::uint64_t lenBytes);
+
+    std::deque<Instruction> pending_;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t seqTick_ = 0;
+
+    WorkloadLayout layout_;
+    std::uint64_t globalLen_ = 0;
+    Addr sharedBase_ = 0;
+    std::uint64_t sharedLen_ = 0;
+};
+
+} // namespace fade
+
+#endif // FADE_TRACE_GENERATOR_HH

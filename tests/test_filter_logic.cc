@@ -1,0 +1,381 @@
+/** @file Unit and property tests for the filter logic (Fig. 7). */
+
+#include <gtest/gtest.h>
+
+#include "core/filter_logic.hh"
+#include "core/fsq.hh"
+#include "core/md_update.hh"
+#include "sim/random.hh"
+
+namespace fade
+{
+
+class FilterLogicTest : public ::testing::Test
+{
+  protected:
+    EventTable table;
+    InvRegFile inv;
+};
+
+TEST_F(FilterLogicTest, CleanCheckSingleOperandPass)
+{
+    inv.write(0, 0x03);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0xff, 0};
+    e.cc = true;
+    table.program(5, e);
+    FilterLogic logic(inv);
+    OperandMd md{0x03, 0, 0};
+    FilterOutcome out = logic.evaluate(table, 5, md);
+    EXPECT_TRUE(out.filtered);
+    EXPECT_TRUE(out.ccPassed);
+    EXPECT_EQ(out.shots, 1u);
+    EXPECT_EQ(out.blocksUsed, 1u);
+}
+
+TEST_F(FilterLogicTest, CleanCheckFails)
+{
+    inv.write(0, 0x03);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0xff, 0};
+    e.cc = true;
+    e.handlerPc = 0xBEEF;
+    table.program(5, e);
+    FilterLogic logic(inv);
+    OperandMd md{0x01, 0, 0};
+    FilterOutcome out = logic.evaluate(table, 5, md);
+    EXPECT_FALSE(out.filtered);
+    EXPECT_EQ(out.handlerPc, 0xBEEFu);
+}
+
+TEST_F(FilterLogicTest, CleanCheckThreeOperandsThreeInvariants)
+{
+    // The most complex single-shot condition of Fig. 7: each operand
+    // compared against a different invariant register.
+    inv.write(0, 0xAA);
+    inv.write(1, 0xBB);
+    inv.write(2, 0xCC);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, false, 1, 0xff, 0};
+    e.s2 = OperandRule{true, false, 1, 0xff, 1};
+    e.d = OperandRule{true, false, 1, 0xff, 2};
+    e.cc = true;
+    table.program(3, e);
+    FilterLogic logic(inv);
+
+    FilterOutcome pass = logic.evaluate(table, 3, {0xAA, 0xBB, 0xCC});
+    EXPECT_TRUE(pass.filtered);
+    EXPECT_EQ(pass.blocksUsed, 3u);
+    EXPECT_EQ(pass.shots, 1u);
+
+    EXPECT_FALSE(logic.evaluate(table, 3, {0xAA, 0xBB, 0xCD}).filtered);
+    EXPECT_FALSE(logic.evaluate(table, 3, {0xAB, 0xBB, 0xCC}).filtered);
+}
+
+TEST_F(FilterLogicTest, MaskExtractsRelevantBits)
+{
+    // AtomCheck-style thread-id comparison under mask 0x7f.
+    inv.write(0, 0x85);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0x7f, 0};
+    e.cc = true;
+    table.program(1, e);
+    FilterLogic logic(inv);
+    EXPECT_TRUE(logic.evaluate(table, 1, {0x05, 0, 0}).filtered)
+        << "bit 7 masked out";
+    EXPECT_TRUE(logic.evaluate(table, 1, {0x85, 0, 0}).filtered);
+    EXPECT_FALSE(logic.evaluate(table, 1, {0x06, 0, 0}).filtered);
+}
+
+TEST_F(FilterLogicTest, ZeroMaskAlwaysMatches)
+{
+    inv.write(0, 0xFF);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0x00, 0};
+    e.cc = true;
+    table.program(1, e);
+    FilterLogic logic(inv);
+    EXPECT_TRUE(logic.evaluate(table, 1, {0x12, 0, 0}).filtered);
+}
+
+TEST_F(FilterLogicTest, RedundantUpdateCopy)
+{
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0xff, 0};
+    e.d = OperandRule{true, false, 1, 0xff, 0};
+    e.ru = RuOp::CopyS1;
+    table.program(2, e);
+    FilterLogic logic(inv);
+    EXPECT_TRUE(logic.evaluate(table, 2, {0x07, 0, 0x07}).filtered);
+    FilterOutcome out = logic.evaluate(table, 2, {0x07, 0, 0x06});
+    EXPECT_FALSE(out.filtered);
+    EXPECT_FALSE(out.ruPassed);
+}
+
+TEST_F(FilterLogicTest, RedundantUpdateOrAndCompose)
+{
+    EventTableEntry e;
+    e.s1 = OperandRule{true, false, 1, 0xff, 0};
+    e.s2 = OperandRule{true, false, 1, 0xff, 0};
+    e.d = OperandRule{true, false, 1, 0xff, 0};
+    e.ru = RuOp::OrS1S2;
+    table.program(2, e);
+    FilterLogic logic(inv);
+    EXPECT_TRUE(logic.evaluate(table, 2, {0x01, 0x02, 0x03}).filtered);
+    EXPECT_FALSE(logic.evaluate(table, 2, {0x01, 0x02, 0x01}).filtered);
+
+    e.ru = RuOp::AndS1S2;
+    table.program(2, e);
+    EXPECT_TRUE(logic.evaluate(table, 2, {0x03, 0x01, 0x01}).filtered);
+    EXPECT_FALSE(logic.evaluate(table, 2, {0x03, 0x01, 0x03}).filtered);
+}
+
+TEST_F(FilterLogicTest, MultiShotOrChain)
+{
+    // CC (fails) OR RU (passes) => filtered in two shots.
+    inv.write(0, 0x03);
+    EventTableEntry first;
+    first.s1 = OperandRule{true, true, 1, 0xff, 0};
+    first.d = OperandRule{true, false, 1, 0xff, 0};
+    first.cc = true;
+    first.multiShot = true;
+    first.nextEntry = 40;
+    table.program(4, first);
+
+    EventTableEntry chain;
+    chain.s1 = OperandRule{true, true, 1, 0xff, 0};
+    chain.d = OperandRule{true, false, 1, 0xff, 0};
+    chain.ru = RuOp::CopyS1;
+    chain.msCombine = MsCombine::Or;
+    table.program(40, chain);
+
+    FilterLogic logic(inv);
+    // Uninit load into uninit reg: CC fails, RU passes.
+    FilterOutcome out = logic.evaluate(table, 4, {0x01, 0, 0x01});
+    EXPECT_TRUE(out.filtered);
+    EXPECT_TRUE(out.ruPassed);
+    EXPECT_FALSE(out.ccPassed);
+    EXPECT_EQ(out.shots, 2u);
+
+    // Both fail.
+    EXPECT_FALSE(logic.evaluate(table, 4, {0x01, 0, 0x03}).filtered);
+}
+
+TEST_F(FilterLogicTest, MultiShotEarlyTermination)
+{
+    // Once the outcome is absorbing for the rest of an OR chain, the
+    // hardware resolves without burning further shots.
+    inv.write(0, 0x03);
+    EventTableEntry first;
+    first.s1 = OperandRule{true, true, 1, 0xff, 0};
+    first.cc = true;
+    first.multiShot = true;
+    first.nextEntry = 41;
+    table.program(4, first);
+
+    EventTableEntry chain;
+    chain.s1 = OperandRule{true, true, 1, 0xff, 0};
+    chain.d = OperandRule{true, false, 1, 0xff, 0};
+    chain.ru = RuOp::CopyS1;
+    chain.msCombine = MsCombine::Or;
+    table.program(41, chain);
+
+    FilterLogic logic(inv);
+    FilterOutcome out = logic.evaluate(table, 4, {0x03, 0, 0x00});
+    EXPECT_TRUE(out.filtered);
+    EXPECT_EQ(out.shots, 1u) << "CC passed; OR chain cannot unfilter";
+}
+
+TEST_F(FilterLogicTest, MultiShotAndChain)
+{
+    inv.write(0, 0x01);
+    inv.write(1, 0x02);
+    EventTableEntry first;
+    first.s1 = OperandRule{true, true, 1, 0x01, 0};
+    first.cc = true;
+    first.multiShot = true;
+    first.nextEntry = 42;
+    table.program(6, first);
+
+    EventTableEntry chain;
+    chain.s2 = OperandRule{true, false, 1, 0x02, 1};
+    chain.cc = true;
+    chain.msCombine = MsCombine::And;
+    table.program(42, chain);
+
+    FilterLogic logic(inv);
+    EXPECT_TRUE(logic.evaluate(table, 6, {0x01, 0x02, 0}).filtered);
+    EXPECT_FALSE(logic.evaluate(table, 6, {0x01, 0x00, 0}).filtered);
+    // First check fails: AND chain short-circuits to unfiltered.
+    FilterOutcome out = logic.evaluate(table, 6, {0x00, 0x02, 0});
+    EXPECT_FALSE(out.filtered);
+    EXPECT_EQ(out.shots, 1u);
+}
+
+TEST_F(FilterLogicTest, PartialFilteringSelectsHandlerPc)
+{
+    inv.write(0, 0x80);
+    EventTableEntry e;
+    e.s1 = OperandRule{true, true, 1, 0xff, 0};
+    e.cc = true;
+    e.partial = true;
+    e.handlerPc = 0x1000; // short handler
+    e.nextEntry = 50;
+    table.program(7, e);
+
+    EventTableEntry alt;
+    alt.handlerPc = 0x2000; // complex handler
+    table.program(50, alt);
+
+    FilterLogic logic(inv);
+    FilterOutcome pass = logic.evaluate(table, 7, {0x80, 0, 0});
+    EXPECT_FALSE(pass.filtered) << "partial events always reach software";
+    EXPECT_TRUE(pass.partial);
+    EXPECT_TRUE(pass.checkPassed);
+    EXPECT_EQ(pass.handlerPc, 0x1000u);
+
+    FilterOutcome fail = logic.evaluate(table, 7, {0x81, 0, 0});
+    EXPECT_FALSE(fail.filtered);
+    EXPECT_FALSE(fail.checkPassed);
+    EXPECT_EQ(fail.handlerPc, 0x2000u);
+}
+
+TEST_F(FilterLogicTest, DispatchOnlyEntryNeverFilters)
+{
+    EventTableEntry e;
+    e.handlerPc = 0x3000;
+    table.program(8, e);
+    FilterLogic logic(inv);
+    FilterOutcome out = logic.evaluate(table, 8, {0, 0, 0});
+    EXPECT_FALSE(out.filtered);
+    EXPECT_EQ(out.handlerPc, 0x3000u);
+}
+
+TEST(EventTableTest, ProgramAndInvalidate)
+{
+    EventTable t;
+    EXPECT_FALSE(t.validAt(10));
+    EventTableEntry e;
+    e.handlerPc = 0x42;
+    t.program(10, e);
+    EXPECT_TRUE(t.validAt(10));
+    EXPECT_EQ(t.lookup(10).handlerPc, 0x42u);
+    EXPECT_EQ(t.population(), 1u);
+    t.invalidate(10);
+    EXPECT_FALSE(t.validAt(10));
+    EXPECT_EQ(t.population(), 0u);
+}
+
+TEST(EventTableTest, ClearAll)
+{
+    EventTable t;
+    for (unsigned i = 0; i < 16; ++i)
+        t.program(i, EventTableEntry{});
+    EXPECT_EQ(t.population(), 16u);
+    t.clear();
+    EXPECT_EQ(t.population(), 0u);
+}
+
+/** Property: NB update rules compute exactly their definitions. */
+class MdUpdateSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MdUpdateSweep, RulesMatchDefinitions)
+{
+    Rng rng(GetParam());
+    InvRegFile inv;
+    for (unsigned i = 0; i < numInvRegs; ++i)
+        inv.write(i, std::uint8_t(rng.next()));
+    for (int iter = 0; iter < 500; ++iter) {
+        OperandMd md{std::uint8_t(rng.next()), std::uint8_t(rng.next()),
+                     std::uint8_t(rng.next())};
+        NbRule r;
+        r.invId = rng.range(numInvRegs);
+
+        r.action = NbAction::None;
+        EXPECT_FALSE(computeMdUpdate(r, md, inv).has_value());
+        r.action = NbAction::CopyS1;
+        EXPECT_EQ(*computeMdUpdate(r, md, inv), md.s1);
+        r.action = NbAction::CopyS2;
+        EXPECT_EQ(*computeMdUpdate(r, md, inv), md.s2);
+        r.action = NbAction::Or;
+        EXPECT_EQ(*computeMdUpdate(r, md, inv),
+                  std::uint8_t(md.s1 | md.s2));
+        r.action = NbAction::And;
+        EXPECT_EQ(*computeMdUpdate(r, md, inv),
+                  std::uint8_t(md.s1 & md.s2));
+        r.action = NbAction::SetConst;
+        EXPECT_EQ(*computeMdUpdate(r, md, inv), inv.read(r.invId));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MdUpdateSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(MdUpdateConditional, PicksActionByComparison)
+{
+    InvRegFile inv;
+    inv.write(3, 0x11);
+    NbRule r;
+    r.conditional = true;
+    r.cond = NbCond::S1EqS2;
+    r.action = NbAction::CopyS1;
+    r.elseAction = NbAction::SetConst;
+    r.elseInvId = 3;
+    OperandMd same{0x5, 0x5, 0x9};
+    EXPECT_EQ(*computeMdUpdate(r, same, inv), 0x5);
+    OperandMd diff{0x5, 0x6, 0x9};
+    EXPECT_EQ(*computeMdUpdate(r, diff, inv), 0x11);
+
+    r.cond = NbCond::S1EqD;
+    OperandMd eqd{0x9, 0x1, 0x9};
+    EXPECT_EQ(*computeMdUpdate(r, eqd, inv), 0x9);
+
+    r.cond = NbCond::S1EqConst;
+    r.condInvId = 3;
+    OperandMd eqc{0x11, 0x1, 0x2};
+    EXPECT_EQ(*computeMdUpdate(r, eqc, inv), 0x11);
+
+    r.cond = NbCond::S2EqConst;
+    OperandMd s2c{0x1, 0x11, 0x2};
+    EXPECT_EQ(*computeMdUpdate(r, s2c, inv), 0x1);
+    OperandMd s2no{0x1, 0x12, 0x2};
+    EXPECT_EQ(*computeMdUpdate(r, s2no, inv), 0x11);
+}
+
+TEST(FsqTest, YoungestMatchWins)
+{
+    FilterStoreQueue fsq(4);
+    fsq.push(100, 1, 10);
+    fsq.push(100, 2, 11);
+    fsq.push(200, 3, 12);
+    EXPECT_EQ(*fsq.lookup(100), 2);
+    EXPECT_EQ(*fsq.lookup(200), 3);
+    EXPECT_FALSE(fsq.lookup(300).has_value());
+}
+
+TEST(FsqTest, ReleaseByOwner)
+{
+    FilterStoreQueue fsq(4);
+    fsq.push(100, 1, 10);
+    fsq.push(100, 2, 11);
+    fsq.release(11);
+    EXPECT_EQ(*fsq.lookup(100), 1);
+    fsq.release(10);
+    EXPECT_FALSE(fsq.lookup(100).has_value());
+    EXPECT_TRUE(fsq.empty());
+}
+
+TEST(FsqTest, CapacityAndStats)
+{
+    FilterStoreQueue fsq(2);
+    EXPECT_TRUE(fsq.push(1, 1, 1));
+    EXPECT_TRUE(fsq.push(2, 2, 2));
+    EXPECT_TRUE(fsq.full());
+    EXPECT_FALSE(fsq.push(3, 3, 3));
+    EXPECT_EQ(fsq.pushes(), 2u);
+    EXPECT_EQ(fsq.maxOccupancy(), 2u);
+}
+
+} // namespace fade

@@ -1,0 +1,228 @@
+/** @file Unit tests for the memory hierarchy and shadow memory. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/mdcache.hh"
+#include "mem/shadow.hh"
+#include "sim/random.hh"
+
+namespace fade
+{
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(l1Params("t"), nullptr, 90);
+    unsigned first = c.access(0x1000, false);
+    unsigned second = c.access(0x1000, false);
+    EXPECT_EQ(first, 2u + 90u);
+    EXPECT_EQ(second, 2u);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, BlockGranularity)
+{
+    Cache c(l1Params("t"), nullptr, 90);
+    c.access(0x1000, false);
+    EXPECT_EQ(c.access(0x103F, false), 2u) << "same 64B block hits";
+    EXPECT_GT(c.access(0x1040, false), 2u) << "next block misses";
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheParams p;
+    p.sizeBytes = 2 * 64; // 1 set, 2 ways
+    p.ways = 2;
+    p.blockBytes = 64;
+    p.latency = 1;
+    Cache c(p, nullptr, 10);
+    c.access(0 * 64, false);
+    c.access(1 * 64, false);
+    c.access(0 * 64, false); // touch 0: 1 becomes LRU
+    c.access(2 * 64, false); // evicts 1
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(1 * 64));
+    EXPECT_TRUE(c.contains(2 * 64));
+}
+
+TEST(Cache, HierarchyLatencyComposition)
+{
+    Cache l2(l2Params(), nullptr, 90);
+    Cache l1(l1Params("l1"), &l2, 90);
+    // Cold: L1 miss (2) + L2 miss (10) + DRAM (90).
+    EXPECT_EQ(l1.access(0x4000, false), 2u + 10u + 90u);
+    // L1 hit after fill.
+    EXPECT_EQ(l1.access(0x4000, false), 2u);
+    l1.flush();
+    // L1 miss, L2 hit.
+    EXPECT_EQ(l1.access(0x4000, false), 2u + 10u);
+}
+
+TEST(Cache, FlushInvalidatesAll)
+{
+    Cache c(l1Params("t"), nullptr, 90);
+    c.access(0x1000, false);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x1000));
+}
+
+TEST(Cache, TouchWarmsWithoutStats)
+{
+    Cache c(l1Params("t"), nullptr, 90);
+    c.touch(0x2000);
+    EXPECT_TRUE(c.contains(0x2000));
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.access(0x2000, false), 2u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(l1Params("t"), nullptr, 90);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+/** Property: working sets within capacity never miss after warmup. */
+class CacheWorkingSetSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheWorkingSetSweep, ResidentSetStaysResident)
+{
+    unsigned blocks = GetParam();
+    Cache c(l1Params("t"), nullptr, 90);
+    // 32KB/64B = 512 blocks; use contiguous blocks (no conflict).
+    for (unsigned i = 0; i < blocks; ++i)
+        c.access(i * 64, false);
+    c.resetStats();
+    for (int pass = 0; pass < 3; ++pass)
+        for (unsigned i = 0; i < blocks; ++i)
+            c.access(i * 64, false);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.hits(), std::uint64_t(3 * blocks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheWorkingSetSweep,
+                         ::testing::Values(1, 16, 128, 512));
+
+TEST(Shadow, DefaultValue)
+{
+    ShadowMemory s(0x2a);
+    EXPECT_EQ(s.read(mdBase + 12345), 0x2a);
+}
+
+TEST(Shadow, ReadBackWrite)
+{
+    ShadowMemory s(0);
+    s.write(mdBase + 100, 7);
+    EXPECT_EQ(s.read(mdBase + 100), 7);
+    EXPECT_EQ(s.read(mdBase + 101), 0);
+}
+
+TEST(Shadow, AppWordMapping)
+{
+    ShadowMemory s(0);
+    s.writeApp(0x1000, 3);
+    EXPECT_EQ(s.readApp(0x1000), 3);
+    EXPECT_EQ(s.readApp(0x1001), 3) << "same word";
+    EXPECT_EQ(s.readApp(0x1003), 3) << "same word";
+    EXPECT_EQ(s.readApp(0x1004), 0) << "next word";
+    EXPECT_EQ(s.read(mdAddrOf(0x1000)), 3);
+}
+
+TEST(Shadow, FillAppRange)
+{
+    ShadowMemory s(0);
+    s.fillApp(0x2000, 64, 1); // 16 words
+    for (Addr a = 0x2000; a < 0x2040; a += 4)
+        ASSERT_EQ(s.readApp(a), 1);
+    EXPECT_EQ(s.readApp(0x2040), 0);
+    EXPECT_EQ(s.readApp(0x1FFC), 0);
+}
+
+TEST(Shadow, FillUnalignedRangeCoversTouchedWords)
+{
+    ShadowMemory s(0);
+    s.fillApp(0x1002, 4, 1); // touches words at 0x1000 and 0x1004
+    EXPECT_EQ(s.readApp(0x1000), 1);
+    EXPECT_EQ(s.readApp(0x1004), 1);
+    EXPECT_EQ(s.readApp(0x1008), 0);
+}
+
+TEST(Shadow, CrossPageFill)
+{
+    ShadowMemory s(0);
+    Addr start = 4 * (pageSize - 2); // md range spans a page boundary
+    s.fillApp(start, 16, 5);
+    for (Addr a = start; a < start + 16; a += 4)
+        ASSERT_EQ(s.readApp(a), 5);
+    EXPECT_GE(s.mappedPages(), 2u);
+}
+
+TEST(MdCacheTest, TlbMissThenHit)
+{
+    Cache l2(l2Params(), nullptr, 90);
+    MdCache mdc(MdCacheParams{}, &l2);
+    MdAccessResult r1 = mdc.accessApp(0x5000, false);
+    EXPECT_TRUE(r1.tlbMiss);
+    EXPECT_GE(r1.latency, MdCacheParams{}.tlbMissPenalty);
+    MdAccessResult r2 = mdc.accessApp(0x5004, false);
+    EXPECT_FALSE(r2.tlbMiss) << "same page translation cached";
+}
+
+TEST(MdCacheTest, OneCycleHit)
+{
+    Cache l2(l2Params(), nullptr, 90);
+    MdCache mdc(MdCacheParams{}, &l2);
+    mdc.accessApp(0x5000, false);
+    MdAccessResult r = mdc.accessApp(0x5000, false);
+    EXPECT_EQ(r.latency, 1u);
+    EXPECT_FALSE(r.cacheMiss);
+}
+
+TEST(MdCacheTest, TlbLruEviction)
+{
+    MdCacheParams p;
+    p.tlbEntries = 2;
+    Cache l2(l2Params(), nullptr, 90);
+    MdCache mdc(p, &l2);
+    mdc.accessApp(0 * pageSize, false);
+    mdc.accessApp(1 * pageSize, false);
+    mdc.accessApp(0 * pageSize, false); // page 1 becomes LRU
+    mdc.accessApp(2 * pageSize, false); // evicts page 1
+    EXPECT_EQ(mdc.tlbMisses(), 3u);
+    MdAccessResult r = mdc.accessApp(1 * pageSize, false);
+    EXPECT_TRUE(r.tlbMiss);
+}
+
+TEST(MdCacheTest, MetadataCompression)
+{
+    // Metadata is 1 byte per 4-byte word: one MD block covers 256
+    // application bytes, so consecutive app blocks share MD blocks.
+    Cache l2(l2Params(), nullptr, 90);
+    MdCache mdc(MdCacheParams{}, &l2);
+    mdc.accessApp(0x8000, false);
+    std::uint64_t misses = mdc.cache().misses();
+    mdc.accessApp(0x8040, false);
+    mdc.accessApp(0x8080, false);
+    mdc.accessApp(0x80FC, false);
+    EXPECT_EQ(mdc.cache().misses(), misses)
+        << "accesses within 256 app bytes share one metadata block";
+}
+
+TEST(MdCacheTest, WarmDoesNotCountStats)
+{
+    Cache l2(l2Params(), nullptr, 90);
+    MdCache mdc(MdCacheParams{}, &l2);
+    mdc.warm(0x9000);
+    EXPECT_EQ(mdc.tlbMisses(), 0u);
+    MdAccessResult r = mdc.accessApp(0x9000, false);
+    EXPECT_EQ(r.latency, 1u);
+    EXPECT_FALSE(r.tlbMiss);
+}
+
+} // namespace fade

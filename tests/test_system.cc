@@ -1,0 +1,338 @@
+/** @file End-to-end system tests: detection, equivalence, performance. */
+
+#include <gtest/gtest.h>
+
+#include "monitor/factory.hh"
+#include "power/model.hh"
+#include "system/system.hh"
+#include "trace/profile.hh"
+
+namespace fade
+{
+
+namespace
+{
+
+constexpr std::uint64_t kWarm = 15000;
+constexpr std::uint64_t kRun = 30000;
+
+bool
+hasReport(const Monitor &m, const std::string &kind)
+{
+    for (const auto &r : m.reports())
+        if (r.kind == kind)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(System, RunsAndProducesEvents)
+{
+    SystemConfig cfg;
+    auto m = makeMonitor("AddrCheck");
+    MonitoringSystem sys(cfg, specProfile("hmmer"), m.get());
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    EXPECT_GE(r.appInstructions, kRun);
+    EXPECT_GT(r.monitoredEvents, kRun / 10);
+    EXPECT_GT(r.appIpc, 0.3);
+    EXPECT_GT(sys.fade()->stats().filteringRatio(), 0.8);
+}
+
+TEST(System, UnmonitoredBaselineHasNoEvents)
+{
+    SystemConfig cfg;
+    cfg.accelerated = false;
+    MonitoringSystem sys(cfg, specProfile("hmmer"), nullptr);
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    EXPECT_EQ(r.monitoredEvents, 0u);
+    EXPECT_GT(r.appIpc, 1.0);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    auto once = [] {
+        SystemConfig cfg;
+        auto m = makeMonitor("MemLeak");
+        MonitoringSystem sys(cfg, specProfile("gcc"), m.get());
+        sys.warmup(kWarm);
+        RunResult r = sys.run(kRun);
+        return std::make_tuple(r.cycles, r.monitoredEvents,
+                               sys.fade()->stats().filtered,
+                               m->reports().size());
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(System, MonitoringSlowsDownApplication)
+{
+    BenchProfile prof = specProfile("hmmer");
+    SystemConfig base;
+    base.accelerated = false;
+    MonitoringSystem baseline(base, prof, nullptr);
+    baseline.warmup(kWarm);
+    std::uint64_t baseCycles = baseline.run(kRun).cycles;
+
+    SystemConfig unacc;
+    unacc.accelerated = false;
+    auto m1 = makeMonitor("MemLeak");
+    MonitoringSystem sysU(unacc, prof, m1.get());
+    sysU.warmup(kWarm);
+    std::uint64_t unaccCycles = sysU.run(kRun).cycles;
+
+    SystemConfig accel;
+    auto m2 = makeMonitor("MemLeak");
+    MonitoringSystem sysA(accel, prof, m2.get());
+    sysA.warmup(kWarm);
+    std::uint64_t fadeCycles = sysA.run(kRun).cycles;
+
+    EXPECT_GT(unaccCycles, 3 * baseCycles)
+        << "unaccelerated propagation tracking is expensive";
+    EXPECT_LT(fadeCycles, unaccCycles / 2)
+        << "FADE recovers most of the slowdown";
+    EXPECT_GT(fadeCycles, baseCycles) << "monitoring is never free";
+}
+
+TEST(System, TwoCoreNoSlowerThanSingleCore)
+{
+    BenchProfile prof = specProfile("hmmer");
+    SystemConfig sc;
+    auto m1 = makeMonitor("MemLeak");
+    MonitoringSystem single(sc, prof, m1.get());
+    single.warmup(kWarm);
+    std::uint64_t scCycles = single.run(kRun).cycles;
+
+    SystemConfig tc;
+    tc.twoCore = true;
+    auto m2 = makeMonitor("MemLeak");
+    MonitoringSystem dual(tc, prof, m2.get());
+    dual.warmup(kWarm);
+    std::uint64_t tcCycles = dual.run(kRun).cycles;
+
+    EXPECT_LE(tcCycles, scCycles * 110 / 100);
+}
+
+TEST(System, NonBlockingNoSlowerThanBlocking)
+{
+    BenchProfile prof = specProfile("gcc");
+    SystemConfig nb;
+    auto m1 = makeMonitor("MemLeak");
+    MonitoringSystem sysN(nb, prof, m1.get());
+    sysN.warmup(kWarm);
+    std::uint64_t nbCycles = sysN.run(kRun).cycles;
+
+    SystemConfig blk;
+    blk.fade.nonBlocking = false;
+    auto m2 = makeMonitor("MemLeak");
+    MonitoringSystem sysB(blk, prof, m2.get());
+    sysB.warmup(kWarm);
+    std::uint64_t blkCycles = sysB.run(kRun).cycles;
+
+    EXPECT_LT(nbCycles, blkCycles);
+}
+
+TEST(System, AcceleratedMatchesUnacceleratedDetection)
+{
+    // Functional equivalence: the same injected bugs are detected with
+    // and without FADE (filtering elides work, never detection).
+    for (const char *mon : {"AddrCheck", "TaintCheck", "MemLeak"}) {
+        TruthBits bug = mon == std::string("AddrCheck")
+                            ? truthAccessUnallocated
+                            : mon == std::string("TaintCheck")
+                                  ? truthTaintedJump
+                                  : truthLeakDrop;
+        const char *kind = mon == std::string("AddrCheck")
+                               ? "unallocated-access"
+                               : mon == std::string("TaintCheck")
+                                     ? "tainted-jump"
+                                     : "memory-leak";
+        for (bool accel : {false, true}) {
+            SystemConfig cfg;
+            cfg.accelerated = accel;
+            auto m = makeMonitor(mon);
+            MonitoringSystem sys(cfg, specProfile("hmmer"), m.get());
+            sys.warmup(kWarm);
+            sys.generator().injectBug(bug);
+            sys.run(kRun);
+            EXPECT_TRUE(hasReport(*m, kind))
+                << mon << " accel=" << accel;
+        }
+    }
+}
+
+TEST(System, UninitUseDetectedByMemCheck)
+{
+    SystemConfig cfg;
+    auto m = makeMonitor("MemCheck");
+    MonitoringSystem sys(cfg, specProfile("hmmer"), m.get());
+    sys.warmup(kWarm);
+    sys.generator().injectBug(truthUseUninit);
+    sys.run(kRun);
+    EXPECT_TRUE(hasReport(*m, "uninit-use"));
+}
+
+TEST(System, AtomicityViolationDetected)
+{
+    SystemConfig cfg;
+    auto m = makeMonitor("AtomCheck");
+    MonitoringSystem sys(cfg, parallelProfile("blackscholes"), m.get());
+    sys.warmup(kWarm);
+    sys.generator().injectBug(truthAtomViolation);
+    sys.run(kRun);
+    EXPECT_TRUE(hasReport(*m, "atomicity-violation"));
+}
+
+TEST(System, CleanRunsReportNoAddrViolationsOnQuietMonitors)
+{
+    // Without injection, AddrCheck should stay quiet on a well-formed
+    // stream (every access targets allocated memory).
+    SystemConfig cfg;
+    auto m = makeMonitor("AddrCheck");
+    MonitoringSystem sys(cfg, specProfile("hmmer"), m.get());
+    sys.warmup(kWarm);
+    sys.run(kRun);
+    EXPECT_EQ(m->reports().size(), 0u);
+}
+
+TEST(System, FilteredPlusSoftwareEqualsAllEvents)
+{
+    SystemConfig cfg;
+    auto m = makeMonitor("MemLeak");
+    MonitoringSystem sys(cfg, specProfile("gobmk"), m.get());
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    const FadeStats &s = sys.fade()->stats();
+    EXPECT_EQ(s.instEvents,
+              s.filtered + s.unfiltered + s.partialPass + s.partialFail);
+    EXPECT_LE(s.instEvents + s.stackEvents + s.highLevelEvents,
+              r.monitoredEvents + 64)
+        << "events processed cannot exceed events produced (+in flight)";
+}
+
+TEST(System, PerfectConsumerNeverBackpressures)
+{
+    SystemConfig cfg;
+    cfg.perfectConsumer = true;
+    cfg.eqCapacity = 0;
+    auto m = makeMonitor("MemLeak");
+    MonitoringSystem sys(cfg, specProfile("bzip"), m.get());
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    EXPECT_EQ(r.appStallCycles, 0u);
+}
+
+TEST(System, EventQueueBackpressureWithTinyQueue)
+{
+    SystemConfig cfg;
+    cfg.eqCapacity = 2;
+    auto m = makeMonitor("MemLeak");
+    MonitoringSystem sys(cfg, specProfile("bzip"), m.get());
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    EXPECT_GT(r.appStallCycles, 0u);
+}
+
+TEST(System, CoreTypeSensitivityShape)
+{
+    // Unaccelerated monitoring should degrade more on the in-order
+    // core than FADE-enabled monitoring does (Fig. 10's shape).
+    BenchProfile prof = specProfile("hmmer");
+    auto slowdown = [&](bool accel, const CoreParams &core) {
+        SystemConfig base;
+        base.core = core;
+        base.accelerated = false;
+        MonitoringSystem b(base, prof, nullptr);
+        b.warmup(kWarm);
+        std::uint64_t bc = b.run(kRun).cycles;
+        SystemConfig cfg;
+        cfg.core = core;
+        cfg.accelerated = accel;
+        auto m = makeMonitor("MemCheck");
+        MonitoringSystem sys(cfg, prof, m.get());
+        sys.warmup(kWarm);
+        return double(sys.run(kRun).cycles) / bc;
+    };
+    double unaccWide = slowdown(false, aggressiveOooParams());
+    double fadeWide = slowdown(true, aggressiveOooParams());
+    double fadeNarrow = slowdown(true, inOrderParams());
+    EXPECT_GT(unaccWide, fadeWide);
+    EXPECT_LT(fadeNarrow, unaccWide)
+        << "FADE on in-order still beats unaccelerated on 4-way";
+}
+
+TEST(PowerModel, MatchesPaperDesignPoint)
+{
+    FadeParams params;
+    AreaPower logic = fadeLogicTotal(inventoryFor(params, 32, 16));
+    EXPECT_NEAR(logic.areaMm2, 0.09, 0.015);
+    EXPECT_NEAR(logic.powerMw, 122.0, 15.0);
+    AreaPower cache = mdCacheAreaPower(MdCacheParams{});
+    EXPECT_NEAR(cache.areaMm2, 0.03, 0.012);
+    EXPECT_NEAR(cache.powerMw, 151.0, 15.0);
+    EXPECT_NEAR(mdCacheAccessNs(MdCacheParams{}), 0.3, 0.05);
+}
+
+TEST(PowerModel, BlockingVariantIsSmaller)
+{
+    FadeParams nb, blk;
+    blk.nonBlocking = false;
+    AreaPower a = fadeLogicTotal(inventoryFor(nb, 32, 16));
+    AreaPower b = fadeLogicTotal(inventoryFor(blk, 32, 16));
+    EXPECT_LT(b.areaMm2, a.areaMm2);
+    EXPECT_LT(b.powerMw, a.powerMw);
+}
+
+TEST(PowerModel, ScalesWithGeometry)
+{
+    FadeParams p;
+    AreaPower small = fadeLogicTotal(inventoryFor(p, 16, 8));
+    AreaPower big = fadeLogicTotal(inventoryFor(p, 128, 64));
+    EXPECT_LT(small.areaMm2, big.areaMm2);
+    MdCacheParams c8;
+    c8.sizeBytes = 8192;
+    EXPECT_GT(mdCacheAreaPower(c8).areaMm2,
+              mdCacheAreaPower(MdCacheParams{}).areaMm2);
+    EXPECT_GT(mdCacheAccessNs(c8), mdCacheAccessNs(MdCacheParams{}));
+}
+
+/** Property sweep: every monitor/config combination runs clean. */
+class SystemMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, bool, bool>>
+{
+};
+
+TEST_P(SystemMatrix, RunsWithoutViolatingInvariants)
+{
+    auto [mon, accel, twoCore] = GetParam();
+    SystemConfig cfg;
+    cfg.accelerated = accel;
+    cfg.twoCore = twoCore;
+    BenchProfile prof = mon == "AtomCheck" ? parallelProfile("water")
+                                           : specProfile("hmmer");
+    auto m = makeMonitor(mon);
+    MonitoringSystem sys(cfg, prof, m.get());
+    sys.warmup(kWarm / 3);
+    RunResult r = sys.run(kRun / 3);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.monitoredEvents, 0u);
+    EXPECT_GT(r.appIpc, 0.05);
+    if (accel) {
+        const FadeStats &s = sys.fade()->stats();
+        EXPECT_EQ(s.instEvents, s.filtered + s.unfiltered +
+                                    s.partialPass + s.partialFail);
+    } else {
+        EXPECT_GT(r.handlersRun, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SystemMatrix,
+    ::testing::Combine(::testing::Values("AddrCheck", "MemCheck",
+                                         "TaintCheck", "MemLeak",
+                                         "AtomCheck"),
+                       ::testing::Bool(), ::testing::Bool()));
+
+} // namespace fade
