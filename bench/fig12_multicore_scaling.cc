@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multi-core scaling study (beyond the paper's per-core evaluation;
+ * Section 7 argues FADE replicates across a CMP). Sweeps a sharded
+ * system over N ∈ {1, 2, 4, 8} {core, FADE, MD cache} shards behind a
+ * shared L2, running a multiprogrammed SPEC mix with MemLeak, and
+ * reports per-shard and aggregate statistics plus each shard's slowdown
+ * against its unmonitored single-core baseline. The N=1 row doubles as
+ * a regression check: it must match the legacy single-core system.
+ */
+
+#include "bench/common.hh"
+#include "system/multicore.hh"
+
+using namespace fade;
+using namespace fade::bench;
+
+int
+main()
+{
+    const std::vector<BenchProfile> mix = multiprogramWorkloads("hmmer");
+    const char *monitor = "MemLeak";
+
+    // Legacy single-core reference for the N=1 equivalence check.
+    Measured legacy = measure(SystemConfig{}, monitor, mix[0]);
+
+    double ipc1 = 0.0;
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        header(("Fig. 12: sharded multi-core scaling, N = " +
+                std::to_string(n) + " (" + monitor + ", SPEC mix)")
+                   .c_str());
+
+        MultiCoreConfig cfg;
+        cfg.numShards = n;
+        cfg.monitor = monitor;
+        cfg.workloads = mix;
+        MultiCoreSystem sys(cfg);
+        sys.warmup(warmupInsts);
+        MultiCoreResult r = sys.run(measureInsts);
+
+        TextTable t;
+        t.header({"shard", "workload", "IPC", "slowdown", "filtering",
+                  "EQ p95", "cycles"});
+        for (const ShardResult &s : r.shards) {
+            BenchProfile prof = shardWorkload(cfg.workloads, s.shard);
+            double base =
+                double(baselineCycles(prof, cfg.shard.core));
+            t.row({std::to_string(s.shard), s.workload,
+                   fmt("%.2f", s.run.appIpc),
+                   fmtX(double(s.run.cycles) / base),
+                   fmtPct(s.filteringRatio),
+                   std::to_string(s.eqOccupancy.percentile(0.95)),
+                   std::to_string(s.run.cycles)});
+        }
+        t.print();
+
+        std::printf("\naggregate: IPC %.2f | makespan %llu cycles | "
+                    "events %llu | filtering %.1f%% | "
+                    "cross-shard events %llu (must be 0)\n",
+                    r.aggregateIpc,
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)r.totalEvents,
+                    r.filteringRatio * 100.0,
+                    (unsigned long long)r.fade.crossShardEvents);
+
+        if (n == 1) {
+            ipc1 = r.aggregateIpc;
+            bool match = r.cycles == legacy.run.cycles &&
+                         r.totalInstructions ==
+                             legacy.run.appInstructions &&
+                         r.totalEvents == legacy.run.monitoredEvents;
+            std::printf("N=1 vs legacy single-core System: %s "
+                        "(cycles %llu vs %llu)\n",
+                        match ? "MATCH" : "MISMATCH",
+                        (unsigned long long)r.cycles,
+                        (unsigned long long)legacy.run.cycles);
+            if (!match)
+                return 1;
+        } else {
+            std::printf("throughput scaling vs N=1: %.2fx over %ux "
+                        "cores\n",
+                        r.aggregateIpc / ipc1, n);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -40,6 +40,15 @@ Fade::quiesced() const
     return !busy() && outstanding_ == 0 && (!eq_ || eq_->empty());
 }
 
+MonEvent
+Fade::popEvent()
+{
+    MonEvent ev = eq_->pop();
+    if (ev.shard != shardId_)
+        ++stats_.crossShardEvents;
+    return ev;
+}
+
 OperandMd
 Fade::gatherMd(const EventTableEntry &e, const MonEvent &ev) const
 {
@@ -258,10 +267,10 @@ Fade::frontEnd(Cycle now)
                      "monitored event id ", unsigned(head.eventId),
                      " has no event table entry");
             etr_ = PipeSlot{};
-            etr_.ev = eq_->pop();
+            etr_.ev = popEvent();
             etr_.valid = true;
         } else if (head.isStackUpdate()) {
-            pendingFront_ = eq_->pop();
+            pendingFront_ = popEvent();
             ++stats_.stackEvents;
             front_ = FrontState::WaitDrainStack;
         } else {
@@ -269,7 +278,7 @@ Fade::frontEnd(Cycle now)
             // software. Order is preserved against in-flight
             // instruction events by waiting for the pipe to empty.
             if (params_.drainOnHighLevel) {
-                pendingFront_ = eq_->pop();
+                pendingFront_ = popEvent();
                 front_ = FrontState::WaitDrainHigh;
                 return;
             }
@@ -282,7 +291,7 @@ Fade::frontEnd(Cycle now)
                 return;
             }
             UnfilteredEvent u;
-            u.ev = eq_->pop();
+            u.ev = popEvent();
             ueq_->push(u);
             ++outstanding_;
             ++stats_.highLevelEvents;

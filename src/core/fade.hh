@@ -77,6 +77,10 @@ struct FadeStats
     std::uint64_t shots = 0;          ///< filter-stage evaluation cycles
     std::uint64_t comparisons = 0;    ///< comparison blocks engaged
 
+    /** Events dequeued whose shard tag differs from this instance's
+     *  shard (must stay 0; nonzero means broken shard routing). */
+    std::uint64_t crossShardEvents = 0;
+
     std::uint64_t stallUeqFull = 0;   ///< cycles stalled: UEQ backpressure
     std::uint64_t stallBlocking = 0;  ///< cycles stalled: blocking mode
     std::uint64_t stallDrain = 0;     ///< cycles waiting for drains
@@ -107,6 +111,38 @@ struct FadeStats
             return 0.0;
         return static_cast<double>(filtered + partialPass) / instEvents;
     }
+
+    /** Accumulate another instance's counters (multi-core rollups). */
+    void
+    merge(const FadeStats &o)
+    {
+        instEvents += o.instEvents;
+        filtered += o.filtered;
+        filteredCC += o.filteredCC;
+        filteredRU += o.filteredRU;
+        partialPass += o.partialPass;
+        partialFail += o.partialFail;
+        unfiltered += o.unfiltered;
+        stackEvents += o.stackEvents;
+        highLevelEvents += o.highLevelEvents;
+        shots += o.shots;
+        comparisons += o.comparisons;
+        crossShardEvents += o.crossShardEvents;
+        stallUeqFull += o.stallUeqFull;
+        stallBlocking += o.stallBlocking;
+        stallDrain += o.stallDrain;
+        stallMdRead += o.stallMdRead;
+        stallFsqFull += o.stallFsqFull;
+        suuCycles += o.suuCycles;
+        busyCycles += o.busyCycles;
+        idleCycles += o.idleCycles;
+        unfDistance.merge(o.unfDistance);
+        unfBurst.merge(o.unfBurst);
+        for (unsigned i = 0; i < numCanonicalEvents; ++i) {
+            filteredById[i] += o.filteredById[i];
+            softwareById[i] += o.softwareById[i];
+        }
+    }
 };
 
 /**
@@ -135,6 +171,10 @@ class Fade
     const FilterStoreQueue &fsq() const { return fsq_; }
     StackUpdateUnit &suu() { return suu_; }
     const FadeParams &params() const { return params_; }
+
+    /** Home shard of this instance (sharded multi-core systems). */
+    void setShard(std::uint8_t s) { shardId_ = s; }
+    std::uint8_t shard() const { return shardId_; }
 
     /** Advance one cycle. */
     void tick(Cycle now);
@@ -193,6 +233,8 @@ class Fade
     };
 
     bool pipelineEmpty() const;
+    /** Dequeue the event-queue head, checking its shard tag. */
+    MonEvent popEvent();
     std::uint8_t readOperandMd(const OperandRule &rule, bool isDest,
                                const MonEvent &ev) const;
     OperandMd gatherMd(const EventTableEntry &e, const MonEvent &ev) const;
@@ -223,6 +265,7 @@ class Fade
 
     FrontState front_ = FrontState::Normal;
     MonEvent pendingFront_;
+    std::uint8_t shardId_ = 0;
 
     bool blocked_ = false;
     std::uint64_t blockedSeq_ = 0;

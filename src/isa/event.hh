@@ -63,6 +63,11 @@ struct MonEvent
 
     ThreadId tid = 0;
 
+    /** Shard (core slice) that produced the event. In a sharded
+     *  multi-core system events must stay on their home shard; the
+     *  consuming FADE instance checks this tag (routing invariant). */
+    std::uint8_t shard = 0;
+
     /** Oracle bits propagated from the instruction (tests only). */
     std::uint8_t truth = truthNone;
 

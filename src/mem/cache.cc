@@ -36,6 +36,7 @@ Cache::tagOf(Addr addr) const
 unsigned
 Cache::access(Addr addr, bool write)
 {
+    addr ^= addrSalt_;
     auto &set = sets_[setIndex(addr)];
     std::uint64_t tag = tagOf(addr);
     ++lruClock_;
@@ -71,6 +72,7 @@ Cache::access(Addr addr, bool write)
 bool
 Cache::contains(Addr addr) const
 {
+    addr ^= addrSalt_;
     const auto &set = sets_[setIndex(addr)];
     std::uint64_t tag = tagOf(addr);
     for (const auto &line : set)
@@ -90,6 +92,7 @@ Cache::flush()
 void
 Cache::touch(Addr addr)
 {
+    addr ^= addrSalt_;
     auto &set = sets_[setIndex(addr)];
     std::uint64_t tag = tagOf(addr);
     ++lruClock_;

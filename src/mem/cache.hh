@@ -53,6 +53,17 @@ class Cache
     /** Probe without updating state. */
     bool contains(Addr addr) const;
 
+    /**
+     * Disambiguate per-shard address spaces: a multi-core system gives
+     * each shard's private caches a distinct salt (high bits above any
+     * application address), XORed into every address before lookup and
+     * before it propagates to the shared next level. Different shards'
+     * identical virtual addresses then occupy distinct lines in the
+     * shared L2, as distinct physical pages would.
+     */
+    void setAddrSalt(std::uint64_t salt) { addrSalt_ = salt; }
+    std::uint64_t addrSalt() const { return addrSalt_; }
+
     /** Invalidate the whole cache (tests / reset). */
     void flush();
 
@@ -90,6 +101,7 @@ class Cache
     CacheParams params_;
     Cache *next_;
     unsigned memLatency_;
+    std::uint64_t addrSalt_ = 0;
     unsigned numSets_;
     std::vector<std::vector<Line>> sets_;
     std::uint64_t lruClock_ = 0;

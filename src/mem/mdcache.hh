@@ -65,6 +65,9 @@ class MdCache
     /** Pre-warm translation and block residency. */
     void warm(Addr appAddr);
 
+    /** Per-shard address-space salt (see Cache::setAddrSalt). */
+    void setAddrSalt(std::uint64_t salt) { cache_.setAddrSalt(salt); }
+
     void flush();
 
     std::uint64_t tlbHits() const { return tlbHits_; }

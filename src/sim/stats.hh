@@ -109,6 +109,18 @@ class Log2Histogram
     std::uint64_t maxValue() const { return max_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
 
+    /** Fold another histogram's buckets into this one (shard rollups). */
+    void
+    merge(const Log2Histogram &o)
+    {
+        if (o.counts_.size() > counts_.size())
+            counts_.resize(o.counts_.size(), 0);
+        for (std::size_t b = 0; b < o.counts_.size(); ++b)
+            counts_[b] += o.counts_[b];
+        total_ += o.total_;
+        max_ = std::max(max_, o.max_);
+    }
+
     /** Fraction of samples with value <= @p v. */
     double
     cdfAt(std::uint64_t v) const

@@ -1,0 +1,142 @@
+#include "system/multicore.hh"
+
+#include "monitor/factory.hh"
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+BenchProfile
+shardWorkload(const std::vector<BenchProfile> &workloads, unsigned idx)
+{
+    fatal_if(workloads.empty(), "multi-core system needs >= 1 workload");
+    unsigned pos = idx % unsigned(workloads.size());
+    BenchProfile p = workloads[pos];
+    // Repeated profiles decorrelate via a per-shard seed offset —
+    // whether the repeat comes from round-robin wraparound or from a
+    // duplicate entry in the workload list itself. The first
+    // occurrence keeps its profile verbatim, so the N=1 system
+    // reproduces the single-core run exactly.
+    bool repeat = idx >= workloads.size();
+    for (unsigned j = 0; !repeat && j < pos; ++j)
+        repeat = workloads[j].name == p.name &&
+                 workloads[j].seed == p.seed;
+    if (repeat) {
+        // Multiplicative mix, not a linear offset: two list entries
+        // with nearby seeds must not land on the same value when
+        // bumped by nearby shard indices.
+        p.seed += std::uint64_t(idx) * 0x9E3779B97F4A7C15ULL;
+        p.name += "#s" + std::to_string(idx);
+    }
+    return p;
+}
+
+MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
+    : cfg_(cfg), l2_(l2Params(), nullptr, dramLatency)
+{
+    fatal_if(cfg_.numShards == 0, "numShards must be >= 1");
+    fatal_if(cfg_.numShards > 256, "shard tag is 8 bits (max 256 shards)");
+
+    for (unsigned i = 0; i < cfg_.numShards; ++i) {
+        BenchProfile prof = shardWorkload(cfg_.workloads, i);
+        workloadNames_.push_back(prof.name);
+
+        monitors_.push_back(cfg_.monitor.empty()
+                                ? nullptr
+                                : makeMonitor(cfg_.monitor));
+
+        SystemConfig scfg = cfg_.shard;
+        scfg.shardId = std::uint8_t(i);
+        shards_.push_back(std::make_unique<MonitoringSystem>(
+            scfg, prof, monitors_.back().get(), &l2_));
+    }
+}
+
+MultiCoreSystem::~MultiCoreSystem() = default;
+
+void
+MultiCoreSystem::runRounds(std::uint64_t instructions, const char *what)
+{
+    std::vector<std::uint64_t> target(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        target[i] = shards_[i]->retired() + instructions;
+
+    // Lockstep interleave: one cycle per shard per round, in fixed
+    // shard order. Shards interact only through the shared L2, so this
+    // order makes the whole simulation deterministic. A shard that has
+    // retired its quota stops ticking while the rest complete, like
+    // the per-slice termination of the single-core run() loop.
+    std::uint64_t round = 0;
+    std::uint64_t limit = sliceCycleLimit(instructions);
+    bool anyLeft = true;
+    while (anyLeft && round < limit) {
+        anyLeft = false;
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            if (shards_[i]->retired() < target[i]) {
+                shards_[i]->tickOnce();
+                anyLeft = true;
+            }
+        }
+        ++round;
+    }
+    panic_if(anyLeft, "multi-core ", what,
+             " failed to make progress");
+}
+
+void
+MultiCoreSystem::warmup(std::uint64_t instructions)
+{
+    runRounds(instructions, "warmup");
+    for (auto &s : shards_)
+        s->drain();
+    for (auto &s : shards_)
+        s->resetStats();
+    l2_.resetStats();
+}
+
+MultiCoreResult
+MultiCoreSystem::run(std::uint64_t instructions)
+{
+    std::vector<std::size_t> reportsBefore(shards_.size(), 0);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->beginSlice();
+        if (monitors_[i])
+            reportsBefore[i] = monitors_[i]->reports().size();
+    }
+    l2_.resetStats();
+
+    runRounds(instructions, "run");
+
+    MultiCoreResult agg;
+    double ipcSum = 0.0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        ShardResult sr;
+        sr.shard = unsigned(i);
+        sr.workload = workloadNames_[i];
+        sr.run = shards_[i]->endSlice();
+        if (shards_[i]->fade())
+            sr.fade = shards_[i]->fade()->stats();
+        sr.filteringRatio = sr.fade.filteringRatio();
+        sr.eqOccupancy = shards_[i]->eventQueue().occupancy();
+        if (monitors_[i])
+            sr.bugReports =
+                monitors_[i]->reports().size() - reportsBefore[i];
+
+        agg.cycles = std::max(agg.cycles, sr.run.cycles);
+        agg.totalInstructions += sr.run.appInstructions;
+        agg.totalEvents += sr.run.monitoredEvents;
+        ipcSum += sr.run.appIpc;
+        agg.fade.merge(sr.fade);
+        agg.eqOccupancy.merge(sr.eqOccupancy);
+        agg.shards.push_back(std::move(sr));
+    }
+    agg.aggregateIpc =
+        agg.cycles ? double(agg.totalInstructions) / double(agg.cycles)
+                   : 0.0;
+    agg.meanShardIpc =
+        shards_.empty() ? 0.0 : ipcSum / double(shards_.size());
+    agg.filteringRatio = agg.fade.filteringRatio();
+    return agg;
+}
+
+} // namespace fade

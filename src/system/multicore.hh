@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Sharded multi-core monitoring system. The paper evaluates FADE per
+ * core and argues the design replicates across a CMP (Section 7); this
+ * subsystem models that scaling point: N shards, each a full
+ * {application core, event queue, FADE, MD cache, monitor} slice as in
+ * Fig. 8, sharing one L2/DRAM model. Workloads are distributed to
+ * shards round-robin from the benchmark profile list, shards advance in
+ * lockstep (fixed shard order, so runs are exactly reproducible), and
+ * statistics roll up into per-shard plus aggregate results.
+ *
+ * The single-core MonitoringSystem is exactly the N=1 case: shard 0
+ * runs the unmodified profile, so its results are bit-identical to a
+ * standalone MonitoringSystem with a private L2 of the same geometry.
+ */
+
+#ifndef FADE_SYSTEM_MULTICORE_HH
+#define FADE_SYSTEM_MULTICORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace fade
+{
+
+/** Configuration of the sharded system. */
+struct MultiCoreConfig
+{
+    /** Number of {core, FADE, MD cache} shards. */
+    unsigned numShards = 1;
+    /** Per-shard system configuration (shardId is assigned per shard). */
+    SystemConfig shard;
+    /** Lifeguard instantiated per shard ("" = unmonitored baseline). */
+    std::string monitor = "MemLeak";
+    /**
+     * Workload profiles, dealt round-robin: shard i runs
+     * workloads[i % workloads.size()]. When a profile is reused by more
+     * than one shard its RNG seed is offset by the shard index so the
+     * copies decorrelate; shard 0 always runs its profile verbatim.
+     */
+    std::vector<BenchProfile> workloads;
+};
+
+/** One shard's slice of a measured run. */
+struct ShardResult
+{
+    unsigned shard = 0;
+    std::string workload;
+    RunResult run;
+    FadeStats fade;
+    double filteringRatio = 0.0;
+    /** Event-queue occupancy distribution of this shard's slice. */
+    Log2Histogram eqOccupancy;
+    /** Bug reports raised during the measured slice (not warmup). */
+    std::uint64_t bugReports = 0;
+};
+
+/** Aggregated results of one measured multi-core run. */
+struct MultiCoreResult
+{
+    std::vector<ShardResult> shards;
+
+    /** Makespan: cycles until the slowest shard finished its quota. */
+    std::uint64_t cycles = 0;
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t totalEvents = 0;
+    /** System throughput: total instructions / makespan. */
+    double aggregateIpc = 0.0;
+    /** Unweighted mean of per-shard IPCs. */
+    double meanShardIpc = 0.0;
+    /** Event-weighted filtering ratio across shards. */
+    double filteringRatio = 0.0;
+    /** FADE counters summed over all shards. */
+    FadeStats fade;
+    /** Event-queue occupancy merged over all shards. */
+    Log2Histogram eqOccupancy;
+};
+
+/**
+ * N MonitoringSystem shards behind one shared L2. Shards tick in
+ * lockstep round-robin; a shard that has retired its instruction quota
+ * stops ticking while the rest complete, exactly like the per-slice
+ * termination of the single-core run() loop.
+ */
+class MultiCoreSystem
+{
+  public:
+    explicit MultiCoreSystem(const MultiCoreConfig &cfg);
+    ~MultiCoreSystem();
+
+    /** Warm every shard with @p instructions app instructions, then
+     *  drain and zero statistics. */
+    void warmup(std::uint64_t instructions);
+
+    /** Run a measured slice of @p instructions per shard. */
+    MultiCoreResult run(std::uint64_t instructions);
+
+    unsigned numShards() const { return unsigned(shards_.size()); }
+    MonitoringSystem &shard(unsigned i) { return *shards_.at(i); }
+    const MonitoringSystem &shard(unsigned i) const
+    {
+        return *shards_.at(i);
+    }
+    Monitor *monitor(unsigned i) { return monitors_.at(i).get(); }
+
+  private:
+    /** Lockstep-tick every shard until each retires @p instructions. */
+    void runRounds(std::uint64_t instructions, const char *what);
+
+    MultiCoreConfig cfg_;
+    Cache l2_;
+    std::vector<std::unique_ptr<Monitor>> monitors_;
+    std::vector<std::unique_ptr<MonitoringSystem>> shards_;
+    std::vector<std::string> workloadNames_;
+};
+
+/**
+ * The profile shard @p idx runs under round-robin distribution of
+ * @p workloads (seed-offset applied for repeated profiles).
+ */
+BenchProfile shardWorkload(const std::vector<BenchProfile> &workloads,
+                           unsigned idx);
+
+} // namespace fade
+
+#endif // FADE_SYSTEM_MULTICORE_HH

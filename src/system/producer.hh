@@ -26,12 +26,14 @@ class EventProducer : public CommitSink
 {
   public:
     /**
-     * @param mon   event-selection policy (null = unmonitored baseline)
-     * @param eq    event queue (null = unmonitored baseline)
-     * @param fade  accelerator whose INV RF sees thread switches
+     * @param mon    event-selection policy (null = unmonitored baseline)
+     * @param eq     event queue (null = unmonitored baseline)
+     * @param fade   accelerator whose INV RF sees thread switches
+     * @param shard  home shard tag stamped into every produced event
      */
-    EventProducer(Monitor *mon, BoundedQueue<MonEvent> *eq, Fade *fade)
-        : mon_(mon), eq_(eq), fade_(fade)
+    EventProducer(Monitor *mon, BoundedQueue<MonEvent> *eq, Fade *fade,
+                  std::uint8_t shard = 0)
+        : mon_(mon), eq_(eq), fade_(fade), shard_(shard)
     {}
 
     bool
@@ -73,6 +75,7 @@ class EventProducer : public CommitSink
             ev = makeHighLevelEvent(inst, seq_);
         else
             ev = makeInstEvent(inst, seq_);
+        ev.shard = shard_;
         ++seq_;
         bool ok = eq_->push(ev);
         panic_if(!ok, "event queue push after canCommit check");
@@ -93,6 +96,7 @@ class EventProducer : public CommitSink
     Monitor *mon_;
     BoundedQueue<MonEvent> *eq_;
     Fade *fade_;
+    std::uint8_t shard_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t retired_ = 0;
     std::uint64_t produced_ = 0;

@@ -8,15 +8,40 @@ namespace fade
 MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
                                    const BenchProfile &profile,
                                    Monitor *mon)
+    : MonitoringSystem(cfg, profile, mon, nullptr)
+{
+}
+
+MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
+                                   const BenchProfile &profile,
+                                   Monitor *mon, Cache *sharedL2)
     : cfg_(cfg),
       mon_(mon),
       ctx_(mon ? mon->shadowDefault() : 0),
-      l2_(l2Params(), nullptr, dramLatency),
-      appL1_(l1Params("app-l1d"), &l2_),
-      monL1_(l1Params("mon-l1d"), &l2_),
+      ownedL2_(sharedL2 ? nullptr
+                        : std::make_unique<Cache>(l2Params(), nullptr,
+                                                  dramLatency)),
+      l2_(sharedL2 ? sharedL2 : ownedL2_.get()),
+      appL1_(l1Params("app-l1d"), l2_),
+      monL1_(l1Params("mon-l1d"), l2_),
       eq_(cfg.eqCapacity),
       ueq_(cfg.ueqCapacity)
 {
+    // Shards reuse the same virtual address ranges; salt every timing
+    // access so identical addresses from different shards occupy
+    // distinct lines in the shared L2 (as distinct physical pages
+    // would). The high bits keep shard spaces disjoint; the hashed
+    // bits [6,32) spread each shard's hot blocks across cache sets so
+    // same-address lines do not all pile into one L2 set. Low 6 bits
+    // stay clear to preserve block alignment. Shard 0 is salt-free,
+    // keeping the legacy path identical.
+    std::uint64_t salt =
+        (std::uint64_t(cfg_.shardId) << 40) |
+        ((std::uint64_t(cfg_.shardId) * 0x9E3779B97F4A7C15ULL) &
+         0xFFFFFFC0ULL);
+    appL1_.setAddrSalt(salt);
+    monL1_.setAddrSalt(salt);
+
     gen_ = std::make_unique<TraceGenerator>(profile);
 
     if (mon_) {
@@ -25,7 +50,9 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
     }
 
     if (mon_ && cfg_.accelerated && !cfg_.perfectConsumer) {
-        fade_ = std::make_unique<Fade>(cfg_.fade, ctx_, &l2_);
+        fade_ = std::make_unique<Fade>(cfg_.fade, ctx_, l2_);
+        fade_->setShard(cfg_.shardId);
+        fade_->mdCache().setAddrSalt(salt);
         fade_->bind(&eq_, &ueq_);
         mon_->programFade(fade_->eventTable(), fade_->invRf());
         // Non-critical bookkeeping for SUU-handled stack updates.
@@ -37,7 +64,7 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
     }
 
     producer_ = std::make_unique<EventProducer>(
-        mon_, mon_ ? &eq_ : nullptr, fade_.get());
+        mon_, mon_ ? &eq_ : nullptr, fade_.get(), cfg_.shardId);
 
     if (mon_ && !cfg_.perfectConsumer) {
         if (cfg_.accelerated) {
@@ -123,38 +150,30 @@ MonitoringSystem::resetStats()
     ueq_.resetStats();
     appL1_.resetStats();
     monL1_.resetStats();
-    l2_.resetStats();
+    if (ownedL2_)
+        ownedL2_->resetStats();
     perfectConsumed_ = 0;
 }
 
-void
-MonitoringSystem::warmup(std::uint64_t instructions)
+std::uint64_t
+MonitoringSystem::retired() const
 {
-    std::uint64_t target = producer_->retired() + instructions;
-    Cycle limit = now_ + instructions * 400 + 1000000;
-    while (producer_->retired() < target && now_ < limit)
-        tickAll();
-    panic_if(producer_->retired() < target,
-             "warmup failed to make progress (deadlock?)");
-    drain();
+    return producer_->retired();
+}
+
+void
+MonitoringSystem::beginSlice()
+{
     resetStats();
+    sliceStart_ = now_;
 }
 
 RunResult
-MonitoringSystem::run(std::uint64_t instructions)
+MonitoringSystem::endSlice()
 {
-    resetStats();
-    Cycle start = now_;
-    std::uint64_t target = producer_->retired() + instructions;
-    Cycle limit = now_ + instructions * 400 + 1000000;
-    while (producer_->retired() < target && now_ < limit)
-        tickAll();
-    panic_if(producer_->retired() < target,
-             "run failed to make progress (deadlock?)");
-
     RunResult r;
     r.appInstructions = producer_->retired();
-    r.cycles = now_ - start;
+    r.cycles = now_ - sliceStart_;
     r.monitoredEvents = producer_->produced();
     r.appIpc = double(r.appInstructions) / double(r.cycles);
     r.monitoredIpc = double(r.monitoredEvents) / double(r.cycles);
@@ -171,6 +190,34 @@ MonitoringSystem::run(std::uint64_t instructions)
     if (mon_)
         mon_->finish();
     return r;
+}
+
+void
+MonitoringSystem::runUntilRetired(std::uint64_t instructions,
+                                  const char *what)
+{
+    std::uint64_t target = producer_->retired() + instructions;
+    Cycle limit = now_ + sliceCycleLimit(instructions);
+    while (producer_->retired() < target && now_ < limit)
+        tickAll();
+    panic_if(producer_->retired() < target,
+             what, " failed to make progress (deadlock?)");
+}
+
+void
+MonitoringSystem::warmup(std::uint64_t instructions)
+{
+    runUntilRetired(instructions, "warmup");
+    drain();
+    resetStats();
+}
+
+RunResult
+MonitoringSystem::run(std::uint64_t instructions)
+{
+    beginSlice();
+    runUntilRetired(instructions, "run");
+    return endSlice();
 }
 
 } // namespace fade

@@ -49,7 +49,22 @@ struct SystemConfig
     FadeParams fade;
     std::size_t eqCapacity = 32;  ///< 0 = unbounded
     std::size_t ueqCapacity = 16;
+    /** Home shard id in a sharded multi-core system (0 = single-core).
+     *  Stamped into every produced event and checked by FADE. */
+    std::uint8_t shardId = 0;
 };
+
+/**
+ * Deadlock bound for driving a warmup or measured slice: a generous
+ * cycles-per-instruction cap after which the driver panics instead of
+ * spinning forever. Shared by the single-core run loops and the
+ * multi-core lockstep rounds (one round = one cycle per shard).
+ */
+constexpr Cycle
+sliceCycleLimit(std::uint64_t instructions)
+{
+    return instructions * 400 + 1000000;
+}
 
 /** Results of one measured run. */
 struct RunResult
@@ -83,11 +98,39 @@ class MonitoringSystem
     MonitoringSystem(const SystemConfig &cfg, const BenchProfile &profile,
                      Monitor *mon);
 
+    /**
+     * Shard constructor: identical to the above, but the L2 is shared
+     * with other shards instead of privately owned (multi-core CMP).
+     * @param sharedL2  shared last-level cache (nullptr = private L2)
+     */
+    MonitoringSystem(const SystemConfig &cfg, const BenchProfile &profile,
+                     Monitor *mon, Cache *sharedL2);
+
     /** Run @p instructions app instructions without collecting stats. */
     void warmup(std::uint64_t instructions);
 
     /** Run a measured slice of @p instructions app instructions. */
     RunResult run(std::uint64_t instructions);
+
+    /**
+     * Externally driven slice protocol (used by MultiCoreSystem, which
+     * interleaves shards in lockstep): beginSlice() zeroes statistics
+     * and marks the slice start; the driver then ticks via tickOnce()
+     * until retired() reaches its target; endSlice() collects the
+     * results exactly as run() does. run() itself is implemented on top
+     * of these.
+     */
+    void beginSlice();
+    RunResult endSlice();
+
+    /** App instructions retired since the last statistics reset. */
+    std::uint64_t retired() const;
+
+    /** Let in-flight events and handlers complete (producer paused). */
+    void drain();
+
+    /** Zero every statistics counter in the system. */
+    void resetStats();
 
     /** The trace generator (bug injection for examples/tests). */
     TraceGenerator &generator() { return *gen_; }
@@ -108,14 +151,16 @@ class MonitoringSystem
 
   private:
     void tickAll();
-    void drain();
-    void resetStats();
+    /** Tick until @p instructions more retire (shared by warmup/run). */
+    void runUntilRetired(std::uint64_t instructions, const char *what);
 
     SystemConfig cfg_;
     Monitor *mon_;
     MonitorContext ctx_;
 
-    Cache l2_;
+    /** Private L2 when not sharing one with other shards. */
+    std::unique_ptr<Cache> ownedL2_;
+    Cache *l2_;
     Cache appL1_;
     Cache monL1_;
 
@@ -131,6 +176,7 @@ class MonitoringSystem
     std::unique_ptr<Core> monCore_; ///< two-core config only
 
     Cycle now_ = 0;
+    Cycle sliceStart_ = 0;
     std::uint64_t perfectConsumed_ = 0;
 };
 

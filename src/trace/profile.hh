@@ -130,6 +130,14 @@ const std::vector<std::string> &taintBenchmarks();
 /** Names of the modelled parallel benchmarks (AtomCheck, Sec. 6). */
 const std::vector<std::string> &parallelBenchmarks();
 
+/**
+ * Multiprogrammed workload for a sharded multi-core system: the first
+ * profile is @p anchor (so the N=1 sharded system reproduces the
+ * single-core run of that benchmark exactly), followed by the remaining
+ * SPEC benchmarks in suite order.
+ */
+std::vector<BenchProfile> multiprogramWorkloads(const std::string &anchor);
+
 } // namespace fade
 
 #endif // FADE_TRACE_PROFILE_HH

@@ -52,6 +52,17 @@ parallelBenchmarks()
     return v;
 }
 
+std::vector<BenchProfile>
+multiprogramWorkloads(const std::string &anchor)
+{
+    std::vector<BenchProfile> v;
+    v.push_back(specProfile(anchor));
+    for (const std::string &b : specBenchmarks())
+        if (b != anchor)
+            v.push_back(specProfile(b));
+    return v;
+}
+
 BenchProfile
 specProfile(const std::string &name)
 {
