@@ -1,0 +1,30 @@
+#!/bin/sh
+# Fail if docs/*.md or README.md reference repo paths that no longer
+# exist. A "reference" is any backtick-quoted token that contains a
+# slash and a known source/doc extension, e.g. `src/mem/cache.hh` or
+# `docs/ARCHITECTURE.md`. Absolute paths and glob patterns are skipped.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+for f in docs/*.md README.md; do
+    [ -f "$f" ] || continue
+    refs=$(grep -oE '`[A-Za-z0-9_./-]+\.(cc|hh|cpp|md|sh|yml|txt)`' \
+               "$f" | tr -d '`' | sort -u) || refs=""
+    for r in $refs; do
+        case "$r" in
+            /*) continue ;;     # absolute: not a repo path
+            *'*'*) continue ;;  # glob pattern
+            */*) ;;             # repo-relative path: check it
+            *) continue ;;      # bare file name: too ambiguous
+        esac
+        if [ ! -e "$r" ]; then
+            echo "$f: dangling reference: $r" >&2
+            status=1
+        fi
+    done
+done
+if [ "$status" -eq 0 ]; then
+    echo "docs references OK"
+fi
+exit $status

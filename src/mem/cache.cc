@@ -5,7 +5,7 @@
 namespace fade
 {
 
-Cache::Cache(const CacheParams &p, Cache *next, unsigned memLatency)
+Cache::Cache(const CacheParams &p, MemPort *next, unsigned memLatency)
     : params_(p), next_(next), memLatency_(memLatency)
 {
     fatal_if(p.blockBytes == 0 || (p.blockBytes & (p.blockBytes - 1)),
@@ -33,26 +33,16 @@ Cache::tagOf(Addr addr) const
     return (addr / params_.blockBytes) / numSets_;
 }
 
-unsigned
-Cache::access(Addr addr, bool write)
+bool
+Cache::accessSet(std::vector<Line> &set, std::uint64_t tag,
+                 std::uint64_t lruClock)
 {
-    addr ^= addrSalt_;
-    auto &set = sets_[setIndex(addr)];
-    std::uint64_t tag = tagOf(addr);
-    ++lruClock_;
-
     for (auto &line : set) {
         if (line.valid && line.tag == tag) {
-            ++hits_;
-            line.lru = lruClock_;
-            return params_.latency;
+            line.lru = lruClock;
+            return true;
         }
     }
-
-    ++misses_;
-    unsigned below = next_ ? next_->access(addr, write) : memLatency_;
-
-    // Fill: evict the LRU way.
     Line *victim = &set[0];
     for (auto &line : set) {
         if (!line.valid) {
@@ -64,8 +54,21 @@ Cache::access(Addr addr, bool write)
     }
     victim->valid = true;
     victim->tag = tag;
-    victim->lru = lruClock_;
+    victim->lru = lruClock;
+    return false;
+}
 
+unsigned
+Cache::access(Addr addr, bool write)
+{
+    addr ^= addrSalt_;
+    ++lruClock_;
+    if (accessSet(sets_[setIndex(addr)], tagOf(addr), lruClock_)) {
+        ++hits_;
+        return params_.latency;
+    }
+    ++misses_;
+    unsigned below = next_ ? next_->access(addr, write) : memLatency_;
     return params_.latency + below;
 }
 
@@ -93,30 +96,60 @@ void
 Cache::touch(Addr addr)
 {
     addr ^= addrSalt_;
-    auto &set = sets_[setIndex(addr)];
-    std::uint64_t tag = tagOf(addr);
     ++lruClock_;
-    for (auto &line : set) {
-        if (line.valid && line.tag == tag) {
-            line.lru = lruClock_;
-            return;
-        }
+    accessSet(sets_[setIndex(addr)], tagOf(addr), lruClock_);
+}
+
+SliceL2View::SliceL2View(Cache &base) : base_(base)
+{
+    // A view freezes only its base; a miss that recursed into a lower
+    // level would mutate shared state from worker threads.
+    fatal_if(base.next_ != nullptr,
+             "SliceL2View requires a last-level base cache");
+    beginEpoch();
+}
+
+unsigned
+SliceL2View::access(Addr addr, bool write)
+{
+    (void)write; // tag-only model: reads and writes age lines alike
+    log_.push_back(addr);
+
+    // Same salting and clocking as Cache::access, applied to the
+    // copy-on-write copy of the set; the lookup/replacement policy
+    // itself is the shared Cache::accessSet, so it cannot drift.
+    Addr a = addr ^ base_.addrSalt_;
+    unsigned si = base_.setIndex(a);
+    auto it = cow_.find(si);
+    if (it == cow_.end())
+        it = cow_.emplace(si, base_.sets_[si]).first;
+    ++lruClock_;
+
+    if (Cache::accessSet(it->second, base_.tagOf(a), lruClock_)) {
+        ++hits_;
+        return base_.params_.latency;
     }
-    for (auto &line : set) {
-        if (!line.valid) {
-            line.valid = true;
-            line.tag = tag;
-            line.lru = lruClock_;
-            return;
-        }
-    }
-    Line *victim = &set[0];
-    for (auto &line : set)
-        if (line.lru < victim->lru)
-            victim = &line;
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lru = lruClock_;
+    ++misses_;
+    return base_.params_.latency + base_.memLatency_;
+}
+
+void
+SliceL2View::commit()
+{
+    for (Addr addr : log_)
+        base_.touch(addr);
+    base_.hits_ += hits_;
+    base_.misses_ += misses_;
+    log_.clear();
+}
+
+void
+SliceL2View::beginEpoch()
+{
+    cow_.clear();
+    log_.clear();
+    hits_ = misses_ = 0;
+    lruClock_ = base_.lruClock_;
 }
 
 CacheParams

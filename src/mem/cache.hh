@@ -4,6 +4,12 @@
  * linked hierarchy (L1 -> shared L2 -> DRAM latency), per Table 1 of the
  * paper: 32KB 2-way 2-cycle L1s, 2MB 16-way 10-cycle shared L2, 90-cycle
  * DRAM.
+ *
+ * For the parallel shard scheduler, a level can be fronted by a
+ * SliceL2View: a copy-on-write overlay that lets one shard run a bounded
+ * slice against a frozen snapshot of the shared level while logging its
+ * traffic, which the scheduler replays into the real level at the slice
+ * barrier in fixed shard order (see system/scheduler.hh).
  */
 
 #ifndef FADE_MEM_CACHE_HH
@@ -11,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -29,11 +36,32 @@ struct CacheParams
 };
 
 /**
+ * Anything that can service a timing access from the level above: a
+ * Cache, or a SliceL2View interposed on the path to a shared cache.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+
+    /**
+     * Access a byte address.
+     * @return total latency in cycles including lower levels.
+     */
+    virtual unsigned access(Addr addr, bool write) = 0;
+};
+
+/**
  * Tag-only cache timing model. Data values live in functional state
  * elsewhere; this model only decides hit/miss and accumulates latency
  * down the hierarchy.
+ *
+ * Thread-safety: none. A cache may only be accessed by one thread at a
+ * time; the parallel shard scheduler keeps the shared L2 frozen during
+ * slices (shards access it through per-shard SliceL2Views) and mutates
+ * it only at slice barriers, on the scheduler thread.
  */
-class Cache
+class Cache : public MemPort
 {
   public:
     /**
@@ -41,14 +69,14 @@ class Cache
      * @param next        next level, or nullptr for the last level
      * @param memLatency  miss latency past the last level (DRAM)
      */
-    Cache(const CacheParams &p, Cache *next = nullptr,
+    Cache(const CacheParams &p, MemPort *next = nullptr,
           unsigned memLatency = 90);
 
     /**
      * Access a byte address. Allocates on miss (write-allocate).
      * @return total latency in cycles including lower levels.
      */
-    unsigned access(Addr addr, bool write);
+    unsigned access(Addr addr, bool write) override;
 
     /** Probe without updating state. */
     bool contains(Addr addr) const;
@@ -64,10 +92,19 @@ class Cache
     void setAddrSalt(std::uint64_t salt) { addrSalt_ = salt; }
     std::uint64_t addrSalt() const { return addrSalt_; }
 
+    /**
+     * Retarget the next level. The shard scheduler uses this to swap a
+     * SliceL2View onto the L1 -> L2 path for the duration of a
+     * scheduled run and to restore the direct path afterwards.
+     */
+    void setNext(MemPort *next) { next_ = next; }
+
     /** Invalidate the whole cache (tests / reset). */
     void flush();
 
-    /** Pre-load a block as resident (warmup support). */
+    /** Pre-load a block as resident (warmup support). Also the replay
+     *  primitive of SliceL2View::commit: updates residency and LRU
+     *  exactly like access() without touching hit/miss statistics. */
     void touch(Addr addr);
 
     const CacheParams &params() const { return params_; }
@@ -88,6 +125,8 @@ class Cache
     }
 
   private:
+    friend class SliceL2View;
+
     struct Line
     {
         std::uint64_t tag = 0;
@@ -98,12 +137,79 @@ class Cache
     unsigned setIndex(Addr addr) const;
     std::uint64_t tagOf(Addr addr) const;
 
+    /**
+     * The single lookup/replacement policy implementation, shared by
+     * access(), touch() and SliceL2View::access so the three paths
+     * cannot drift: LRU-bump on hit, else fill the first invalid way
+     * or evict the LRU way.
+     * @return true on hit.
+     */
+    static bool accessSet(std::vector<Line> &set, std::uint64_t tag,
+                          std::uint64_t lruClock);
+
     CacheParams params_;
-    Cache *next_;
+    MemPort *next_;
     unsigned memLatency_;
     std::uint64_t addrSalt_ = 0;
     unsigned numSets_;
     std::vector<std::vector<Line>> sets_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Slice-local view of a shared cache level, the concurrency mechanism
+ * of the parallel shard scheduler (system/scheduler.hh).
+ *
+ * During a slice the underlying cache is frozen: the view services its
+ * shard's accesses against copy-on-write copies of the sets it touches
+ * (seeded from the base at first touch), applying exactly the lookup /
+ * fill / LRU policy of Cache::access, and logs every access. At the
+ * slice barrier the scheduler calls commit() on each view in fixed
+ * shard order: the log is replayed into the base via Cache::touch and
+ * the view's hit/miss counts are folded into the base counters. After
+ * all views have committed, beginEpoch() rebases each view onto the
+ * merged state for the next slice.
+ *
+ * Because a slice's outcome depends only on the base state at the slice
+ * barrier plus the shard's own accesses, the merged result is identical
+ * whether the slices of different shards execute sequentially or on
+ * concurrent host threads — this is what makes the ParallelBatched
+ * scheduler policy bit-identical to Lockstep. With a single shard the
+ * view is exact: replaying the log reproduces precisely the state and
+ * statistics direct execution would have produced, which keeps the N=1
+ * sharded system bit-identical to the legacy single-core system.
+ *
+ * Thread-safety contract: between beginEpoch() and commit(), access()
+ * may be called from one worker thread while other views of the same
+ * base do the same; the base must not be mutated. commit() and
+ * beginEpoch() must be called with all workers quiescent (the slice
+ * barrier), from a single thread.
+ */
+class SliceL2View : public MemPort
+{
+  public:
+    /** @param base  shared last-level cache (must have no next level) */
+    explicit SliceL2View(Cache &base);
+
+    /** Service one access against the overlay (worker thread). */
+    unsigned access(Addr addr, bool write) override;
+
+    /** Replay this slice's traffic into the base (barrier, shard
+     *  order). */
+    void commit();
+
+    /** Drop the overlay and rebase on the merged state (barrier, after
+     *  every view has committed). */
+    void beginEpoch();
+
+  private:
+    Cache &base_;
+    /** Copy-on-write set copies, keyed by set index. */
+    std::unordered_map<unsigned, std::vector<Cache::Line>> cow_;
+    /** Access log (original addresses, in order). */
+    std::vector<Addr> log_;
     std::uint64_t lruClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -3,7 +3,7 @@
 namespace fade
 {
 
-MdCache::MdCache(const MdCacheParams &p, Cache *nextLevel)
+MdCache::MdCache(const MdCacheParams &p, MemPort *nextLevel)
     : params_(p),
       cache_([&p] {
           CacheParams cp;

@@ -48,7 +48,7 @@ struct MdAccessResult
 class MdCache
 {
   public:
-    MdCache(const MdCacheParams &p, Cache *nextLevel);
+    MdCache(const MdCacheParams &p, MemPort *nextLevel);
 
     /**
      * Access the metadata of an application address.
@@ -67,6 +67,10 @@ class MdCache
 
     /** Per-shard address-space salt (see Cache::setAddrSalt). */
     void setAddrSalt(std::uint64_t salt) { cache_.setAddrSalt(salt); }
+
+    /** Retarget the backing level (slice scheduling; see
+     *  Cache::setNext). */
+    void setNext(MemPort *next) { cache_.setNext(next); }
 
     void flush();
 

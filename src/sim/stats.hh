@@ -3,6 +3,14 @@
  * Lightweight statistics containers: running scalar statistics, log2
  * histograms (used for queue-occupancy CDFs, Fig. 3 of the paper), and
  * linear histograms for burst/distance distributions (Fig. 4).
+ *
+ * Thread-safety contract: none of these types lock. The multi-core
+ * path keeps every container shard-private while worker threads run
+ * and folds them together only at slice barriers or end of run, on a
+ * single thread, via the merge() members (merge-at-barrier rollups).
+ * Each merge() is order-independent across operands, so rolling up in
+ * fixed shard order yields bit-identical aggregates no matter how the
+ * slices were executed.
  */
 
 #ifndef FADE_SIM_STATS_HH
@@ -46,6 +54,18 @@ class RunningStat
         double m = mean();
         double var = sumSq_ / n_ - m * m;
         return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    /** Fold another stream's moments into this one (shard rollups /
+     *  merge-at-barrier; equivalent to having sampled both streams). */
+    void
+    merge(const RunningStat &o)
+    {
+        n_ += o.n_;
+        sum_ += o.sum_;
+        sumSq_ += o.sumSq_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
     }
 
     void

@@ -50,43 +50,94 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
         shards_.push_back(std::make_unique<MonitoringSystem>(
             scfg, prof, monitors_.back().get(), &l2_));
     }
+
+    std::vector<MonitoringSystem *> raw;
+    for (auto &s : shards_)
+        raw.push_back(s.get());
+    sched_ = std::make_unique<ShardScheduler>(cfg_.scheduler,
+                                              std::move(raw), l2_);
 }
 
 MultiCoreSystem::~MultiCoreSystem() = default;
 
-void
-MultiCoreSystem::runRounds(std::uint64_t instructions, const char *what)
+namespace
 {
-    std::vector<std::uint64_t> target(shards_.size());
-    for (std::size_t i = 0; i < shards_.size(); ++i)
-        target[i] = shards_[i]->retired() + instructions;
 
-    // Lockstep interleave: one cycle per shard per round, in fixed
-    // shard order. Shards interact only through the shared L2, so this
-    // order makes the whole simulation deterministic. A shard that has
-    // retired its quota stops ticking while the rest complete, like
-    // the per-slice termination of the single-core run() loop.
-    std::uint64_t round = 0;
-    std::uint64_t limit = sliceCycleLimit(instructions);
-    bool anyLeft = true;
-    while (anyLeft && round < limit) {
-        anyLeft = false;
-        for (std::size_t i = 0; i < shards_.size(); ++i) {
-            if (shards_[i]->retired() < target[i]) {
-                shards_[i]->tickOnce();
-                anyLeft = true;
-            }
-        }
-        ++round;
+// The fingerprint below hand-enumerates every FadeStats / RunResult
+// field; a field added without extending appendFade/appendRun would
+// silently escape the scheduler bit-equality checks. These asserts
+// trip on the CI platform when either struct grows: extend the
+// matching append helper (and FadeStats::merge), then update the size.
+#if defined(__linux__) && defined(__x86_64__)
+static_assert(sizeof(FadeStats) == 368,
+              "FadeStats changed: update appendFade + this size");
+static_assert(sizeof(RunResult) == 72,
+              "RunResult changed: update appendRun + this size");
+#endif
+
+void
+appendHist(std::vector<std::uint64_t> &fp, const Log2Histogram &h)
+{
+    fp.push_back(h.total());
+    fp.push_back(h.maxValue());
+    for (std::uint64_t b : h.buckets())
+        fp.push_back(b);
+}
+
+void
+appendFade(std::vector<std::uint64_t> &fp, const FadeStats &f)
+{
+    fp.insert(fp.end(),
+              {f.instEvents, f.filtered, f.filteredCC, f.filteredRU,
+               f.partialPass, f.partialFail, f.unfiltered, f.stackEvents,
+               f.highLevelEvents, f.shots, f.comparisons,
+               f.crossShardEvents, f.stallUeqFull, f.stallBlocking,
+               f.stallDrain, f.stallMdRead, f.stallFsqFull, f.suuCycles,
+               f.busyCycles, f.idleCycles});
+    appendHist(fp, f.unfDistance);
+    appendHist(fp, f.unfBurst);
+    for (std::uint64_t c : f.filteredById)
+        fp.push_back(c);
+    for (std::uint64_t c : f.softwareById)
+        fp.push_back(c);
+}
+
+void
+appendRun(std::vector<std::uint64_t> &fp, const RunResult &r)
+{
+    fp.insert(fp.end(),
+              {r.appInstructions, r.cycles, r.monitoredEvents,
+               r.appStallCycles, r.monIdleCycles, r.handlerInstructions,
+               r.handlersRun});
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+resultFingerprint(MultiCoreSystem &sys, const MultiCoreResult &r)
+{
+    std::vector<std::uint64_t> fp;
+    fp.insert(fp.end(), {r.cycles, r.totalInstructions, r.totalEvents});
+    appendFade(fp, r.fade);
+    appendHist(fp, r.eqOccupancy);
+    for (const ShardResult &s : r.shards) {
+        appendRun(fp, s.run);
+        appendFade(fp, s.fade);
+        appendHist(fp, s.eqOccupancy);
+        fp.push_back(s.bugReports);
     }
-    panic_if(anyLeft, "multi-core ", what,
-             " failed to make progress");
+    for (unsigned i = 0; i < sys.numShards(); ++i)
+        fp.push_back(sys.monitor(i) ? sys.monitor(i)->reports().size()
+                                    : 0);
+    fp.push_back(sys.sharedL2().hits());
+    fp.push_back(sys.sharedL2().misses());
+    return fp;
 }
 
 void
 MultiCoreSystem::warmup(std::uint64_t instructions)
 {
-    runRounds(instructions, "warmup");
+    sched_->run(instructions, "warmup");
     for (auto &s : shards_)
         s->drain();
     for (auto &s : shards_)
@@ -105,7 +156,7 @@ MultiCoreSystem::run(std::uint64_t instructions)
     }
     l2_.resetStats();
 
-    runRounds(instructions, "run");
+    sched_->run(instructions, "run");
 
     MultiCoreResult agg;
     double ipcSum = 0.0;

@@ -5,13 +5,16 @@
  * subsystem models that scaling point: N shards, each a full
  * {application core, event queue, FADE, MD cache, monitor} slice as in
  * Fig. 8, sharing one L2/DRAM model. Workloads are distributed to
- * shards round-robin from the benchmark profile list, shards advance in
- * lockstep (fixed shard order, so runs are exactly reproducible), and
+ * shards round-robin from the benchmark profile list, shards advance
+ * in bounded slices under the shard scheduler (system/scheduler.hh) —
+ * sequentially (Lockstep) or on parallel host threads
+ * (ParallelBatched), with bit-identical results either way — and
  * statistics roll up into per-shard plus aggregate results.
  *
  * The single-core MonitoringSystem is exactly the N=1 case: shard 0
  * runs the unmodified profile, so its results are bit-identical to a
- * standalone MonitoringSystem with a private L2 of the same geometry.
+ * standalone MonitoringSystem with a private L2 of the same geometry,
+ * for every scheduler policy and slice length.
  */
 
 #ifndef FADE_SYSTEM_MULTICORE_HH
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "system/scheduler.hh"
 #include "system/system.hh"
 
 namespace fade
@@ -43,6 +47,10 @@ struct MultiCoreConfig
      * copies decorrelate; shard 0 always runs its profile verbatim.
      */
     std::vector<BenchProfile> workloads;
+    /** Execution policy, slice length and worker count. Affects wall
+     *  clock only (plus interference granularity via sliceTicks);
+     *  simulated results are policy- and thread-count-invariant. */
+    SchedulerConfig scheduler;
 };
 
 /** One shard's slice of a measured run. */
@@ -81,10 +89,16 @@ struct MultiCoreResult
 };
 
 /**
- * N MonitoringSystem shards behind one shared L2. Shards tick in
- * lockstep round-robin; a shard that has retired its instruction quota
- * stops ticking while the rest complete, exactly like the per-slice
- * termination of the single-core run() loop.
+ * N MonitoringSystem shards behind one shared L2, driven by the shard
+ * scheduler in bounded slices; a shard that has retired its
+ * instruction quota stops ticking while the rest complete, exactly
+ * like the per-slice termination of the single-core run() loop.
+ *
+ * Thread-safety contract: the public interface is single-threaded.
+ * Under SchedulerPolicy::ParallelBatched the scheduler internally
+ * drives shards on worker threads, but warmup()/run() only return once
+ * the workers are quiescent, and results do not depend on the policy
+ * (see system/scheduler.hh for the determinism argument).
  */
 class MultiCoreSystem
 {
@@ -107,15 +121,20 @@ class MultiCoreSystem
     }
     Monitor *monitor(unsigned i) { return monitors_.at(i).get(); }
 
-  private:
-    /** Lockstep-tick every shard until each retires @p instructions. */
-    void runRounds(std::uint64_t instructions, const char *what);
+    /** The shared last-level cache behind all shards. */
+    const Cache &sharedL2() const { return l2_; }
 
+    /** The shard scheduler (host-side wall-clock accounting). */
+    ShardScheduler &scheduler() { return *sched_; }
+    const ShardScheduler &scheduler() const { return *sched_; }
+
+  private:
     MultiCoreConfig cfg_;
     Cache l2_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
     std::vector<std::unique_ptr<MonitoringSystem>> shards_;
     std::vector<std::string> workloadNames_;
+    std::unique_ptr<ShardScheduler> sched_;
 };
 
 /**
@@ -124,6 +143,17 @@ class MultiCoreSystem
  */
 BenchProfile shardWorkload(const std::vector<BenchProfile> &workloads,
                            unsigned idx);
+
+/**
+ * Every simulated value a measured run produced — aggregate and
+ * per-shard results, all FADE counters, occupancy histograms,
+ * bug-report counts, shared-L2 hit/miss counters — flattened into one
+ * comparable vector. Two runs are bit-identical iff their fingerprints
+ * compare equal; the scheduler tests and the fig12 harness both use
+ * this to assert ParallelBatched == Lockstep.
+ */
+std::vector<std::uint64_t> resultFingerprint(MultiCoreSystem &sys,
+                                             const MultiCoreResult &r);
 
 } // namespace fade
 

@@ -1,0 +1,195 @@
+#include "system/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
+
+ShardRunner::ShardRunner(MonitoringSystem &sys, Cache &sharedL2)
+    : sys_(sys), view_(sharedL2)
+{
+}
+
+void
+ShardRunner::beginRun(std::uint64_t instructions)
+{
+    target_ = sys_.retired() + instructions;
+    ticksUsed_ = 0;
+}
+
+void
+ShardRunner::runSlice(std::uint64_t maxTicks)
+{
+    for (std::uint64_t t = 0; t < maxTicks && !done(); ++t) {
+        sys_.tickOnce();
+        ++ticksUsed_;
+    }
+}
+
+ShardScheduler::ShardScheduler(const SchedulerConfig &cfg,
+                               std::vector<MonitoringSystem *> shards,
+                               Cache &l2)
+    : cfg_(cfg)
+{
+    fatal_if(shards.empty(), "scheduler needs >= 1 shard");
+    fatal_if(cfg_.sliceTicks == 0, "sliceTicks must be >= 1");
+    for (MonitoringSystem *s : shards)
+        runners_.push_back(std::make_unique<ShardRunner>(*s, l2));
+}
+
+ShardScheduler::~ShardScheduler()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+unsigned
+ShardScheduler::workerCount() const
+{
+    if (cfg_.policy != SchedulerPolicy::ParallelBatched ||
+        runners_.size() < 2)
+        return 1;
+    // An explicit hostThreads is honored even past the hardware
+    // concurrency (oversubscription changes wall clock, never
+    // results); the default uses one worker per shard up to the
+    // host's parallelism.
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    unsigned want = cfg_.hostThreads ? cfg_.hostThreads : hw;
+    return std::max(1u, std::min(want, unsigned(runners_.size())));
+}
+
+void
+ShardScheduler::startWorkers()
+{
+    unsigned n = workerCount();
+    if (n < 2 || !workers_.empty())
+        return;
+    workers_.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ShardScheduler::workerLoop(unsigned worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::uint64_t ticks;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            workCv_.wait(lk,
+                         [&] { return stop_ || epochSeq_ != seen; });
+            if (stop_)
+                return;
+            seen = epochSeq_;
+            ticks = epochTicks_;
+        }
+        // Static striping: worker w owns shards w, w+W, w+2W, ... so a
+        // shard is touched by exactly one thread per epoch. (Shard
+        // results cannot depend on this assignment; see file header.)
+        for (std::size_t i = worker; i < runners_.size();
+             i += workers_.size())
+            if (!runners_[i]->done())
+                runners_[i]->runSlice(ticks);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--pending_ == 0)
+                doneCv_.notify_one();
+        }
+    }
+}
+
+void
+ShardScheduler::runEpoch()
+{
+    if (workers_.empty()) {
+        // Lockstep policy (or a parallel pool collapsed to one
+        // worker): the same slice protocol, sequential in shard order.
+        for (auto &r : runners_)
+            if (!r->done())
+                r->runSlice(cfg_.sliceTicks);
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            epochTicks_ = cfg_.sliceTicks;
+            pending_ = unsigned(workers_.size());
+            ++epochSeq_;
+        }
+        workCv_.notify_all();
+        std::unique_lock<std::mutex> lk(m_);
+        doneCv_.wait(lk, [&] { return pending_ == 0; });
+    }
+
+    // Barrier: merge L2 traffic in fixed shard order, then rebase
+    // every view on the merged state. Single-threaded by design.
+    for (auto &r : runners_)
+        r->commitSlice();
+    for (auto &r : runners_)
+        r->beginEpoch();
+}
+
+void
+ShardScheduler::run(std::uint64_t instructions, const char *what)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    if (cfg_.policy == SchedulerPolicy::ParallelBatched)
+        startWorkers();
+
+    for (auto &r : runners_)
+        r->beginRun(instructions);
+    for (auto &r : runners_)
+        r->attach();
+    for (auto &r : runners_)
+        r->beginEpoch();
+
+    const std::uint64_t limit = sliceCycleLimit(instructions);
+    auto left = [&] {
+        unsigned n = 0;
+        for (auto &r : runners_)
+            if (!r->done())
+                ++n;
+        return n;
+    };
+
+    for (unsigned n = left(); n != 0; n = left()) {
+        for (auto &r : runners_)
+            panic_if(!r->done() && r->ticksUsed() >= limit,
+                     "multi-core ", what, " failed to make progress");
+        auto e0 = std::chrono::steady_clock::now();
+        runEpoch();
+        stats_.epochWall.sample(secondsSince(e0));
+        ++stats_.epochs;
+        stats_.slices += n;
+    }
+
+    for (auto &r : runners_) {
+        r->detach();
+        stats_.ticks += r->ticksUsed();
+    }
+    stats_.wallSeconds += secondsSince(t0);
+}
+
+} // namespace fade

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Parallel batched shard scheduler. PR 1's MultiCoreSystem ticked its
+ * shards in lockstep on one host thread, so simulated cores scaled
+ * while wall-clock did not. This scheduler decouples the shards the
+ * same way FADE decouples the application core from the monitor —
+ * through bounded buffering with deferred, ordered merging:
+ *
+ *  - Each {core, event queue, FADE, MD cache, monitor} shard advances
+ *    in bounded slices (SchedulerConfig::sliceTicks cycles per slice).
+ *  - Within a slice a shard is fully self-contained: its only shared
+ *    structure, the L2, is reached through a per-shard SliceL2View
+ *    (mem/cache.hh) that reads a frozen snapshot and logs the shard's
+ *    traffic.
+ *  - At the slice barrier the scheduler replays every shard's L2 log
+ *    into the real L2 in fixed shard order and folds the slice's
+ *    hit/miss counts into the shared counters, then rebases all views
+ *    on the merged state.
+ *
+ * Determinism argument: a slice's outcome is a pure function of (L2
+ * state at the last barrier, the shard's own private state), so the
+ * interleaving of host threads cannot influence any simulated value,
+ * and the barrier merge is executed in fixed shard order on one
+ * thread. Hence SchedulerPolicy::ParallelBatched produces bit-identical
+ * per-shard and aggregate statistics to SchedulerPolicy::Lockstep,
+ * which runs the very same slice protocol sequentially. Cross-shard L2
+ * interference (evictions between shards) is modelled at slice
+ * granularity rather than cycle granularity — the standard
+ * bound-and-weave trade made by parallel architecture simulators.
+ *
+ * With one shard the slice protocol is exact, not just deterministic:
+ * the merged L2 state and statistics equal direct execution bit for
+ * bit, which keeps the N=1 sharded system identical to the legacy
+ * single-core MonitoringSystem for every policy and slice size.
+ */
+
+#ifndef FADE_SYSTEM_SCHEDULER_HH
+#define FADE_SYSTEM_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "system/system.hh"
+
+namespace fade
+{
+
+/** How the scheduler executes the slices of one epoch. */
+enum class SchedulerPolicy : std::uint8_t
+{
+    /** Slices run sequentially in shard order on the calling thread.
+     *  The reference semantics; zero threading. */
+    Lockstep,
+    /** Slices run concurrently on a persistent worker pool; merge at
+     *  the barrier is unchanged. Bit-identical to Lockstep. */
+    ParallelBatched,
+};
+
+/** Scheduler knobs (MultiCoreConfig::scheduler). */
+struct SchedulerConfig
+{
+    SchedulerPolicy policy = SchedulerPolicy::Lockstep;
+    /**
+     * Cycles each shard advances between barriers. Larger slices
+     * amortize barrier synchronization (better host scaling) but
+     * coarsen cross-shard L2 interference; 1k-10k is the useful range.
+     * Simulated results depend on this value (interference
+     * granularity) but never on the policy or host thread count.
+     */
+    std::uint64_t sliceTicks = 4096;
+    /** Worker threads for ParallelBatched; 0 = one per shard, capped
+     *  at the host's hardware concurrency. */
+    unsigned hostThreads = 0;
+};
+
+/** Host-side accounting of one scheduler (simulation-invisible). */
+struct SchedulerStats
+{
+    /** Slice barriers executed. */
+    std::uint64_t epochs = 0;
+    /** Shard-slices executed (<= epochs * shards). */
+    std::uint64_t slices = 0;
+    /** Total shard cycles ticked under the scheduler. */
+    std::uint64_t ticks = 0;
+    /** Wall-clock seconds spent inside run(). */
+    double wallSeconds = 0.0;
+    /** Per-epoch wall-clock seconds (mean/min/max/stddev). */
+    RunningStat epochWall;
+};
+
+/**
+ * Drives one shard in bounded slices against its SliceL2View. The
+ * scheduler owns one runner per shard; runSlice() is the only method
+ * invoked from worker threads.
+ */
+class ShardRunner
+{
+  public:
+    /**
+     * @param sys       the shard (not owned)
+     * @param sharedL2  the L2 the view overlays
+     */
+    ShardRunner(MonitoringSystem &sys, Cache &sharedL2);
+
+    /** Arm a run: retire @p instructions more, with a fresh tick
+     *  budget. */
+    void beginRun(std::uint64_t instructions);
+
+    /** Has this shard retired its run target? */
+    bool
+    done() const
+    {
+        return sys_.retired() >= target_;
+    }
+
+    /**
+     * Advance the shard by at most @p maxTicks cycles, stopping early
+     * at the run target. Worker-thread safe: touches only this shard's
+     * state and the frozen L2 snapshot through the view.
+     */
+    void runSlice(std::uint64_t maxTicks);
+
+    /** Replay this slice's L2 traffic (barrier; fixed shard order). */
+    void commitSlice() { view_.commit(); }
+
+    /** Rebase the view on the merged L2 (barrier, after all
+     *  commits). */
+    void beginEpoch() { view_.beginEpoch(); }
+
+    /** Route the shard's L2 traffic through the view / back to the
+     *  real L2. */
+    void attach() { sys_.setL2Port(&view_); }
+    void detach() { sys_.setL2Port(nullptr); }
+
+    /** Cycles ticked since beginRun() (deadlock accounting). */
+    std::uint64_t ticksUsed() const { return ticksUsed_; }
+
+  private:
+    MonitoringSystem &sys_;
+    SliceL2View view_;
+    std::uint64_t target_ = 0;
+    std::uint64_t ticksUsed_ = 0;
+};
+
+/**
+ * Runs N shards to a per-shard instruction target under the configured
+ * policy. Construction is cheap; the ParallelBatched worker pool is
+ * started lazily on the first parallel run() and joined in the
+ * destructor.
+ *
+ * Thread-safety contract: run(), resetStats() and stats() must be
+ * called from one thread (the owner's). Workers only ever execute
+ * ShardRunner::runSlice between barriers; every merge step
+ * (commitSlice, beginEpoch, stat rollups) happens on the calling
+ * thread with workers quiescent, so simulated state needs no locks.
+ */
+class ShardScheduler
+{
+  public:
+    /**
+     * @param cfg     policy, slice length, worker count
+     * @param shards  one MonitoringSystem per shard (not owned)
+     * @param l2      the shared L2 behind all shards
+     */
+    ShardScheduler(const SchedulerConfig &cfg,
+                   std::vector<MonitoringSystem *> shards, Cache &l2);
+    ~ShardScheduler();
+
+    ShardScheduler(const ShardScheduler &) = delete;
+    ShardScheduler &operator=(const ShardScheduler &) = delete;
+
+    /**
+     * Advance every shard by @p instructions retired instructions,
+     * slicing and merging per the policy. Panics (like the legacy
+     * lockstep loop) if a shard exceeds sliceCycleLimit() without
+     * reaching its target. @p what names the phase in diagnostics.
+     */
+    void run(std::uint64_t instructions, const char *what);
+
+    const SchedulerConfig &config() const { return cfg_; }
+    const SchedulerStats &stats() const { return stats_; }
+    void resetStats() { stats_ = SchedulerStats{}; }
+
+    /** Worker threads a parallel epoch uses (1 when sequential). */
+    unsigned workerCount() const;
+
+  private:
+    void runEpoch();
+    void startWorkers();
+    void workerLoop(unsigned worker);
+
+    SchedulerConfig cfg_;
+    std::vector<std::unique_ptr<ShardRunner>> runners_;
+    SchedulerStats stats_;
+
+    /** Worker pool (ParallelBatched only; empty until first use). */
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::uint64_t epochSeq_ = 0;
+    std::uint64_t epochTicks_ = 0;
+    unsigned pending_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace fade
+
+#endif // FADE_SYSTEM_SCHEDULER_HH

@@ -136,6 +136,16 @@ MonitoringSystem::drain()
 }
 
 void
+MonitoringSystem::setL2Port(MemPort *port)
+{
+    MemPort *p = port ? port : l2_;
+    appL1_.setNext(p);
+    monL1_.setNext(p);
+    if (fade_)
+        fade_->mdCache().setNext(p);
+}
+
+void
 MonitoringSystem::resetStats()
 {
     appCore_->resetStats();

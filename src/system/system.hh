@@ -113,15 +113,32 @@ class MonitoringSystem
     RunResult run(std::uint64_t instructions);
 
     /**
-     * Externally driven slice protocol (used by MultiCoreSystem, which
-     * interleaves shards in lockstep): beginSlice() zeroes statistics
-     * and marks the slice start; the driver then ticks via tickOnce()
-     * until retired() reaches its target; endSlice() collects the
-     * results exactly as run() does. run() itself is implemented on top
-     * of these.
+     * Externally driven slice protocol (used by the shard scheduler,
+     * which drives shards in bounded slices): beginSlice() zeroes
+     * statistics and marks the slice start; the driver then ticks via
+     * tickOnce() until retired() reaches its target; endSlice()
+     * collects the results exactly as run() does. run() itself is
+     * implemented on top of these.
+     *
+     * Thread-safety contract: a system instance is single-threaded.
+     * The parallel scheduler may call tickOnce() from a worker thread
+     * because each shard is self-contained except for the shared L2,
+     * which it reaches through a SliceL2View (see setL2Port); the L2
+     * itself is only mutated at slice barriers. beginSlice(),
+     * endSlice(), drain() and resetStats() must be called with no
+     * worker driving the instance.
      */
     void beginSlice();
     RunResult endSlice();
+
+    /**
+     * Redirect every L2-facing port of this shard (both L1s and the
+     * MD cache) to @p port, or back to the real L2 when @p port is
+     * null. The shard scheduler installs a SliceL2View here for the
+     * duration of a scheduled run so that concurrent shard slices
+     * never touch the shared L2 directly.
+     */
+    void setL2Port(MemPort *port);
 
     /** App instructions retired since the last statistics reset. */
     std::uint64_t retired() const;

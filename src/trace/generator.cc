@@ -743,6 +743,12 @@ TraceGenerator::emitFree(Addr base)
     for (auto &ts : threads_) {
         ringPrune(ts.ptrSlots, base, std::uint64_t(words) * wordSize);
         ringPrune(ts.taintSlots, base, std::uint64_t(words) * wordSize);
+        // A stride-1 heap walk established inside this block must not
+        // continue into it after the free: that is exactly the kind of
+        // use-after-free a clean stream may not contain.
+        Addr end = base + std::uint64_t(words) * wordSize;
+        if (ts.heapRun.next >= base && ts.heapRun.next < end)
+            ts.heapRun = {};
     }
     eraseWordRange(base, std::uint64_t(words) * wordSize);
 

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shard scheduler tests: bit-equality of ParallelBatched vs Lockstep
+ * across shard counts and slice sizes, determinism of repeated
+ * parallel runs, N=1 equivalence with the legacy single-core system
+ * under the slice protocol, and host-side accounting sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/factory.hh"
+#include "system/multicore.hh"
+#include "trace/profile.hh"
+
+namespace fade
+{
+
+namespace
+{
+
+constexpr std::uint64_t kWarm = 8000;
+constexpr std::uint64_t kRun = 15000;
+
+MultiCoreConfig
+baseConfig(unsigned shards)
+{
+    MultiCoreConfig cfg;
+    cfg.numShards = shards;
+    cfg.monitor = "MemLeak";
+    cfg.workloads = multiprogramWorkloads("hmmer");
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+runOnce(MultiCoreConfig cfg)
+{
+    MultiCoreSystem sys(cfg);
+    sys.warmup(kWarm);
+    MultiCoreResult r = sys.run(kRun);
+    return resultFingerprint(sys, r);
+}
+
+} // namespace
+
+TEST(Scheduler, ParallelBitIdenticalToLockstep)
+{
+    // The acceptance property of the parallel scheduler: for N in
+    // {1, 2, 4, 8}, every simulated number matches the sequential
+    // policy exactly. hostThreads forces a pool even on a single-CPU
+    // host for the N >= 2 legs (a single shard never starts workers).
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(n);
+        MultiCoreConfig lock = baseConfig(n);
+        lock.scheduler.policy = SchedulerPolicy::Lockstep;
+        MultiCoreConfig par = baseConfig(n);
+        par.scheduler.policy = SchedulerPolicy::ParallelBatched;
+        par.scheduler.hostThreads = 4;
+        EXPECT_EQ(runOnce(lock), runOnce(par));
+    }
+}
+
+TEST(Scheduler, ParallelBitIdenticalAcrossSliceSizes)
+{
+    // Slice length changes the modelled interference granularity (so
+    // different sizes may legitimately differ from each other), but at
+    // every size the two policies must still agree bit for bit.
+    for (std::uint64_t slice : {512ull, 2048ull, 8192ull}) {
+        SCOPED_TRACE(slice);
+        MultiCoreConfig lock = baseConfig(4);
+        lock.scheduler.policy = SchedulerPolicy::Lockstep;
+        lock.scheduler.sliceTicks = slice;
+        MultiCoreConfig par = baseConfig(4);
+        par.scheduler.policy = SchedulerPolicy::ParallelBatched;
+        par.scheduler.sliceTicks = slice;
+        par.scheduler.hostThreads = 3; // workers != shards on purpose
+        EXPECT_EQ(runOnce(lock), runOnce(par));
+    }
+}
+
+TEST(Scheduler, ParallelDeterministicAcrossRepeatedRuns)
+{
+    // Two independent parallel systems from the same config must agree
+    // bit for bit no matter how the host schedules the workers.
+    MultiCoreConfig cfg = baseConfig(4);
+    cfg.scheduler.policy = SchedulerPolicy::ParallelBatched;
+    cfg.scheduler.hostThreads = 4;
+    EXPECT_EQ(runOnce(cfg), runOnce(cfg));
+}
+
+TEST(Scheduler, SingleShardMatchesLegacyForAnySliceAndPolicy)
+{
+    // With one shard the slice protocol is exact, so the N=1 sharded
+    // system reproduces the legacy single-core system for every
+    // policy and slice length, not only the default.
+    SystemConfig scfg;
+    auto mon = makeMonitor("MemLeak");
+    MonitoringSystem legacy(scfg, specProfile("hmmer"), mon.get());
+    legacy.warmup(kWarm);
+    RunResult lr = legacy.run(kRun);
+
+    for (auto pol : {SchedulerPolicy::Lockstep,
+                     SchedulerPolicy::ParallelBatched}) {
+        for (std::uint64_t slice : {600ull, 4096ull}) {
+            SCOPED_TRACE(slice);
+            MultiCoreConfig cfg = baseConfig(1);
+            cfg.scheduler.policy = pol;
+            cfg.scheduler.sliceTicks = slice;
+            MultiCoreSystem mc(cfg);
+            mc.warmup(kWarm);
+            MultiCoreResult mr = mc.run(kRun);
+            ASSERT_EQ(mr.shards.size(), 1u);
+            EXPECT_EQ(mr.shards[0].run.cycles, lr.cycles);
+            EXPECT_EQ(mr.shards[0].run.appInstructions,
+                      lr.appInstructions);
+            EXPECT_EQ(mr.shards[0].run.monitoredEvents,
+                      lr.monitoredEvents);
+            EXPECT_EQ(mr.shards[0].run.appStallCycles,
+                      lr.appStallCycles);
+            EXPECT_EQ(mr.shards[0].run.handlerInstructions,
+                      lr.handlerInstructions);
+        }
+    }
+}
+
+TEST(Scheduler, AccountingIsSane)
+{
+    MultiCoreConfig cfg = baseConfig(4);
+    cfg.scheduler.policy = SchedulerPolicy::ParallelBatched;
+    cfg.scheduler.hostThreads = 2;
+    MultiCoreSystem sys(cfg);
+    sys.warmup(kWarm);
+    sys.run(kRun);
+    const SchedulerStats &st = sys.scheduler().stats();
+    EXPECT_EQ(sys.scheduler().workerCount(), 2u);
+    EXPECT_GT(st.epochs, 0u);
+    // Every epoch runs between 1 and numShards slices.
+    EXPECT_GE(st.slices, st.epochs);
+    EXPECT_LE(st.slices, st.epochs * sys.numShards());
+    // All four shards retired kWarm + kRun instructions each; ticks
+    // cover at least that many cycles in total.
+    EXPECT_GT(st.ticks, 4 * (kWarm + kRun) / 2);
+    EXPECT_EQ(st.epochWall.count(), st.epochs);
+    EXPECT_GE(st.wallSeconds, 0.0);
+
+    sys.scheduler().resetStats();
+    EXPECT_EQ(sys.scheduler().stats().epochs, 0u);
+}
+
+} // namespace fade
