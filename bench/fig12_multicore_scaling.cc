@@ -7,11 +7,15 @@
  * reports per-shard and aggregate statistics plus each shard's slowdown
  * against its unmonitored single-core baseline.
  *
- * Each N runs twice — once under the Lockstep scheduler policy, once
- * under ParallelBatched — and the harness hard-checks that every
- * simulated statistic matches bit for bit before reporting the
- * wall-clock speedup of the parallel policy (host-dependent: expect
- * > 1.5x at N = 8 on a multi-core host, ~1x on a single-CPU one).
+ * Each N runs under every scheduler policy × intra-shard engine
+ * combination — {Lockstep, ParallelBatched} × {per-cycle, batched} —
+ * and the harness hard-checks that all four produce bit-identical
+ * simulated statistics before reporting wall clock: the parallel
+ * policy's speedup is host-dependent (expect > 1.5x at N = 8 on a
+ * multi-core host, ~1x on a single-CPU one), the batched engine's
+ * events/sec gain is workload-dependent. One machine-readable JSON
+ * line is emitted per (N, policy, engine) so BENCH_*.json trajectories
+ * can track events/sec across PRs (docs/BENCHMARKS.md).
  * The N=1 row doubles as a regression check: it must match the legacy
  * single-core system.
  */
@@ -34,7 +38,7 @@ struct TimedRun
 };
 
 TimedRun
-runPolicy(const MultiCoreConfig &cfg)
+runConfig(const MultiCoreConfig &cfg)
 {
     MultiCoreSystem sys(cfg);
     sys.warmup(warmupInsts);
@@ -49,6 +53,34 @@ runPolicy(const MultiCoreConfig &cfg)
     return t;
 }
 
+const char *
+policyName(SchedulerPolicy p)
+{
+    return p == SchedulerPolicy::Lockstep ? "lockstep" : "parallel";
+}
+
+const char *
+engineName(Engine e)
+{
+    return e == Engine::PerCycle ? "percycle" : "batched";
+}
+
+void
+jsonLine(unsigned n, SchedulerPolicy pol, Engine eng, const TimedRun &t)
+{
+    const MultiCoreResult &r = t.result;
+    std::printf("{\"bench\":\"fig12_multicore_scaling\",\"n\":%u,"
+                "\"policy\":\"%s\",\"engine\":\"%s\","
+                "\"instructions\":%llu,\"events\":%llu,"
+                "\"makespan_cycles\":%llu,\"aggregate_ipc\":%.4f,"
+                "\"wall_s\":%.6f,\"events_per_s\":%.0f}\n",
+                n, policyName(pol), engineName(eng),
+                (unsigned long long)r.totalInstructions,
+                (unsigned long long)r.totalEvents,
+                (unsigned long long)r.cycles, r.aggregateIpc,
+                t.wallSeconds, r.totalEvents / t.wallSeconds);
+}
+
 } // namespace
 
 int
@@ -56,6 +88,9 @@ main()
 {
     const std::vector<BenchProfile> mix = multiprogramWorkloads("hmmer");
     const char *monitor = "MemLeak";
+    // Slowdowns normalize against a baseline simulated with the same
+    // core the shards run (the MultiCoreConfig default).
+    const CoreParams shardCore = MultiCoreConfig{}.shard.core;
 
     // Legacy single-core reference for the N=1 equivalence check.
     Measured legacy = measure(SystemConfig{}, monitor, mix[0]);
@@ -66,31 +101,44 @@ main()
                 std::to_string(n) + " (" + monitor + ", SPEC mix)")
                    .c_str());
 
-        MultiCoreConfig cfg;
-        cfg.numShards = n;
-        cfg.monitor = monitor;
-        cfg.workloads = mix;
-        cfg.scheduler.policy = SchedulerPolicy::Lockstep;
-        TimedRun lock = runPolicy(cfg);
-
-        MultiCoreConfig pcfg = cfg;
-        pcfg.scheduler.policy = SchedulerPolicy::ParallelBatched;
-        TimedRun par = runPolicy(pcfg);
-
-        if (lock.fingerprint != par.fingerprint) {
-            std::printf("ParallelBatched DIVERGED from Lockstep at "
-                        "N=%u\n", n);
-            return 1;
+        // All four policy × engine combinations; index [engine][policy].
+        TimedRun runs[2][2];
+        for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
+            for (auto pol : {SchedulerPolicy::Lockstep,
+                             SchedulerPolicy::ParallelBatched}) {
+                MultiCoreConfig cfg;
+                cfg.numShards = n;
+                cfg.monitor = monitor;
+                cfg.workloads = mix;
+                cfg.scheduler.policy = pol;
+                cfg.engine = eng;
+                runs[eng == Engine::Batched]
+                    [pol == SchedulerPolicy::ParallelBatched] =
+                        runConfig(cfg);
+            }
         }
 
-        const MultiCoreResult &r = lock.result;
+        const TimedRun &reference = runs[0][0];
+        for (int e = 0; e < 2; ++e) {
+            for (int p = 0; p < 2; ++p) {
+                if (runs[e][p].fingerprint != reference.fingerprint) {
+                    std::printf("DIVERGENCE at N=%u: engine=%s "
+                                "policy=%s does not match the "
+                                "per-cycle lockstep reference\n",
+                                n, e ? "batched" : "percycle",
+                                p ? "parallel" : "lockstep");
+                    return 1;
+                }
+            }
+        }
+
+        const MultiCoreResult &r = reference.result;
         TextTable t;
         t.header({"shard", "workload", "IPC", "slowdown", "filtering",
                   "EQ p95", "cycles"});
         for (const ShardResult &s : r.shards) {
-            BenchProfile prof = shardWorkload(cfg.workloads, s.shard);
-            double base =
-                double(baselineCycles(prof, cfg.shard.core));
+            BenchProfile prof = shardWorkload(mix, s.shard);
+            double base = double(baselineCycles(prof, shardCore));
             t.row({std::to_string(s.shard), s.workload,
                    fmt("%.2f", s.run.appIpc),
                    fmtX(double(s.run.cycles) / base),
@@ -108,11 +156,26 @@ main()
                     (unsigned long long)r.totalEvents,
                     r.filteringRatio * 100.0,
                     (unsigned long long)r.fade.crossShardEvents);
-        std::printf("wall-clock (measured run): lockstep %.3fs | "
-                    "parallel %.3fs | speedup %.2fx "
-                    "(stats bit-identical)\n",
-                    lock.wallSeconds, par.wallSeconds,
-                    lock.wallSeconds / par.wallSeconds);
+        std::printf("wall-clock, all stats bit-identical across the "
+                    "4 combinations:\n");
+        for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
+            const TimedRun &lock = runs[eng == Engine::Batched][0];
+            const TimedRun &par = runs[eng == Engine::Batched][1];
+            std::printf("  engine %-8s lockstep %.3fs | parallel %.3fs "
+                        "| policy speedup %.2fx\n",
+                        engineName(eng), lock.wallSeconds,
+                        par.wallSeconds,
+                        lock.wallSeconds / par.wallSeconds);
+        }
+        std::printf("  batched/percycle engine speedup (lockstep): "
+                    "%.2fx\n",
+                    runs[0][0].wallSeconds / runs[1][0].wallSeconds);
+        for (Engine eng : {Engine::PerCycle, Engine::Batched})
+            for (auto pol : {SchedulerPolicy::Lockstep,
+                             SchedulerPolicy::ParallelBatched})
+                jsonLine(n, pol, eng,
+                         runs[eng == Engine::Batched]
+                             [pol == SchedulerPolicy::ParallelBatched]);
 
         if (n == 1) {
             ipc1 = r.aggregateIpc;

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Single-shard engine microbenchmark: events/sec of the per-cycle
+ * reference engine vs the run-to-stall batched engine
+ * (system/pipeline.hh) on one monitored shard, plus the bulk-transport
+ * throughput of the ring-buffer BoundedQueue. The engines must agree
+ * bit for bit (hard-checked here, like fig12's policy check); only
+ * wall clock may differ. There is deliberately no perf *gate*: CI runs
+ * this as a smoke test (--smoke) and perf numbers are tracked through
+ * the emitted JSON lines (see docs/BENCHMARKS.md — measure speedups on
+ * a quiet multi-core host, not a shared 1-CPU container).
+ *
+ * Usage: micro_pipeline [--smoke] [--profile NAME] [--monitor NAME]
+ *                       [--instr N] [--reps N]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "system/pipeline.hh"
+
+using namespace fade;
+using namespace fade::bench;
+
+namespace
+{
+
+struct EngineRun
+{
+    RunResult run;
+    double bestWall = 0.0;
+    PipelineDriverStats driver;
+    std::vector<std::uint64_t> fingerprint;
+};
+
+/** Compact all-stats fingerprint of one single-shard run. */
+std::vector<std::uint64_t>
+fingerprintOf(MonitoringSystem &sys, Monitor *mon, const RunResult &r)
+{
+    std::vector<std::uint64_t> fp = {
+        r.appInstructions, r.cycles,        r.monitoredEvents,
+        r.appStallCycles,  r.monIdleCycles, r.handlerInstructions,
+        r.handlersRun,
+    };
+    const FadeStats &f = sys.fade()->stats();
+    fp.insert(fp.end(),
+              {f.instEvents, f.filtered, f.filteredCC, f.filteredRU,
+               f.partialPass, f.partialFail, f.unfiltered, f.stackEvents,
+               f.highLevelEvents, f.shots, f.comparisons, f.stallUeqFull,
+               f.stallBlocking, f.stallDrain, f.stallFsqFull, f.suuCycles,
+               f.busyCycles, f.idleCycles});
+    fp.push_back(sys.eventQueue().pushes());
+    fp.push_back(sys.eventQueue().rejects());
+    fp.push_back(sys.eventQueue().occupancy().maxValue());
+    fp.push_back(sys.unfilteredQueue().pushes());
+    fp.push_back(mon->reports().size());
+    return fp;
+}
+
+EngineRun
+runEngine(Engine e, const std::string &profile, const std::string &monitor,
+          std::uint64_t warm, std::uint64_t instr, unsigned reps)
+{
+    EngineRun best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        SystemConfig cfg;
+        cfg.engine = e;
+        auto mon = makeMonitor(monitor);
+        MonitoringSystem sys(cfg, specProfile(profile), mon.get());
+        sys.warmup(warm);
+        auto t0 = std::chrono::steady_clock::now();
+        RunResult r = sys.run(instr);
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (rep == 0 || wall < best.bestWall) {
+            best.bestWall = wall;
+            best.run = r;
+            if (sys.pipelineDriver())
+                best.driver = sys.pipelineDriver()->stats();
+            best.fingerprint = fingerprintOf(sys, mon.get(), r);
+        }
+    }
+    return best;
+}
+
+void
+jsonLine(const char *engine, const std::string &profile,
+         const std::string &monitor, const EngineRun &r)
+{
+    std::printf("{\"bench\":\"micro_pipeline\",\"profile\":\"%s\","
+                "\"monitor\":\"%s\",\"engine\":\"%s\","
+                "\"instructions\":%llu,\"cycles\":%llu,\"events\":%llu,"
+                "\"wall_s\":%.6f,\"events_per_s\":%.0f,"
+                "\"cycles_per_s\":%.0f}\n",
+                profile.c_str(), monitor.c_str(), engine,
+                (unsigned long long)r.run.appInstructions,
+                (unsigned long long)r.run.cycles,
+                (unsigned long long)r.run.monitoredEvents, r.bestWall,
+                r.run.monitoredEvents / r.bestWall,
+                r.run.cycles / r.bestWall);
+}
+
+/** Ring-buffer queue transport: per-element vs bulk ops. */
+void
+queueTransportMicro(std::uint64_t ops)
+{
+    BoundedQueue<MonEvent> q(32);
+    MonEvent ev;
+    std::vector<MonEvent> batch(32);
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ops; i += 32) {
+        for (int k = 0; k < 32; ++k)
+            q.push(ev);
+        for (int k = 0; k < 32; ++k)
+            q.pop();
+    }
+    double perOp = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ops; i += 32) {
+        q.pushRun(batch.begin(), batch.end());
+        q.popRun(32);
+    }
+    double bulk = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    std::printf("queue transport (32-entry ring, %llu events each "
+                "way):\n  push/pop     %8.1f M events/s\n"
+                "  pushRun/popRun %6.1f M events/s (%.2fx)\n",
+                (unsigned long long)ops, ops / perOp / 1e6,
+                ops / bulk / 1e6, perOp / bulk);
+    std::printf("{\"bench\":\"micro_pipeline_queue\",\"events\":%llu,"
+                "\"push_pop_Mev_s\":%.1f,\"run_Mev_s\":%.1f}\n",
+                (unsigned long long)ops, ops / perOp / 1e6,
+                ops / bulk / 1e6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string profile = "astar";
+    std::string monitor = "AddrCheck";
+    std::uint64_t warm = 20000;
+    std::uint64_t instr = 2000000;
+    unsigned reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--smoke")) {
+            instr = 100000;
+            reps = 1;
+        } else if (!std::strcmp(argv[i], "--profile")) {
+            profile = next("--profile");
+        } else if (!std::strcmp(argv[i], "--monitor")) {
+            monitor = next("--monitor");
+        } else if (!std::strcmp(argv[i], "--instr")) {
+            instr = std::strtoull(next("--instr"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--reps")) {
+            reps = unsigned(std::strtoul(next("--reps"), nullptr, 10));
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    header(("micro_pipeline: " + profile + " + " + monitor +
+            ", per-cycle vs run-to-stall batched engine")
+               .c_str());
+
+    EngineRun per = runEngine(Engine::PerCycle, profile, monitor, warm,
+                              instr, reps);
+    EngineRun bat = runEngine(Engine::Batched, profile, monitor, warm,
+                              instr, reps);
+
+    if (per.fingerprint != bat.fingerprint) {
+        std::printf("ENGINES DIVERGED: batched results are not "
+                    "bit-identical to per-cycle\n");
+        return 1;
+    }
+
+    std::printf("instructions %llu | cycles %llu | events %llu "
+                "(bit-identical across engines)\n\n",
+                (unsigned long long)per.run.appInstructions,
+                (unsigned long long)per.run.cycles,
+                (unsigned long long)per.run.monitoredEvents);
+    std::printf("per-cycle engine: %7.3fs  %9.0f events/s  %9.0f "
+                "cycles/s\n",
+                per.bestWall, per.run.monitoredEvents / per.bestWall,
+                per.run.cycles / per.bestWall);
+    std::printf("batched engine:   %7.3fs  %9.0f events/s  %9.0f "
+                "cycles/s\n",
+                bat.bestWall, bat.run.monitoredEvents / bat.bestWall,
+                bat.run.cycles / bat.bestWall);
+    std::printf("engine speedup: %.2fx (events/s, best of %u)\n",
+                per.bestWall / bat.bestWall, reps);
+    std::uint64_t driven = bat.driver.fusedCycles +
+                           bat.driver.skippedCycles;
+    std::printf("driver: %llu cycles driven, %llu fused + %llu skipped "
+                "(%.1f%% fast-forwarded in %llu jumps, mean %.1f "
+                "cycles)\n\n",
+                (unsigned long long)driven,
+                (unsigned long long)bat.driver.fusedCycles,
+                (unsigned long long)bat.driver.skippedCycles,
+                driven ? 100.0 * bat.driver.skippedCycles / driven : 0.0,
+                (unsigned long long)bat.driver.jumps,
+                bat.driver.jumps ? double(bat.driver.skippedCycles) /
+                                       bat.driver.jumps
+                                 : 0.0);
+
+    jsonLine("percycle", profile, monitor, per);
+    jsonLine("batched", profile, monitor, bat);
+    std::printf("\n");
+
+    queueTransportMicro(instr >= 1000000 ? 32000000ull : 3200000ull);
+    return 0;
+}

@@ -146,6 +146,30 @@ struct FadeStats
 };
 
 /**
+ * Batched-engine stall assessment of one FADE instance at one cycle
+ * (system/pipeline.hh). When active is false, tick() is guaranteed to
+ * change nothing but the flagged per-cycle counters until wakeAt (or
+ * until an external input — queues, handler completions — changes),
+ * so the driver may replace the ticks of a frozen span by one
+ * skipCycles() call.
+ */
+struct FadeStallProfile
+{
+    /** tick() must run this cycle (it would change machine state). */
+    bool active = true;
+    /** First cycle the unit wakes by itself; invalidCycle = only an
+     *  external change can wake it. */
+    Cycle wakeAt = invalidCycle;
+    /** Counters tick() would bump once per skipped cycle. */
+    bool busy = false;
+    bool idle = false;
+    bool ueqFull = false;
+    bool blocking = false;
+    bool drain = false;
+    bool fsqFull = false;
+};
+
+/**
  * The accelerator. The owning system binds the two decoupling queues,
  * ticks FADE once per cycle, and reports software handler completions
  * via handlerDone().
@@ -178,6 +202,20 @@ class Fade
 
     /** Advance one cycle. */
     void tick(Cycle now);
+
+    /**
+     * Would tick(@p now) do anything beyond the per-cycle accounting a
+     * stall profile describes? Pure (no state change, no queue access
+     * beyond peeking); see FadeStallProfile for the contract.
+     */
+    FadeStallProfile stallProfile(Cycle now) const;
+
+    /**
+     * Apply the per-cycle counters of @p p for @p n skipped cycles.
+     * Only legal when stallProfile() returned @p p with active ==
+     * false and no external input changed during the span.
+     */
+    void skipCycles(const FadeStallProfile &p, std::uint64_t n);
 
     /** Software completed the handler of the event with @p seq. */
     void handlerDone(std::uint64_t seq);
@@ -233,6 +271,11 @@ class Fade
     };
 
     bool pipelineEmpty() const;
+    /** Front end provably takes no action this cycle (stall profile). */
+    bool frontFrozen() const;
+    /** frontFrozen() generalized over non-Normal front states; sets
+     *  @p drains when the inert front still counts a drain stall. */
+    bool frontInert(bool *drains) const;
     /** Dequeue the event-queue head, checking its shard tag. */
     MonEvent popEvent();
     std::uint8_t readOperandMd(const OperandRule &rule, bool isDest,

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace fade
@@ -92,13 +94,18 @@ Core::tryCommitOne(HwThread &t, Cycle now)
 }
 
 bool
-Core::tryDispatchOne(HwThread &t, Cycle now)
+Core::tryDispatchOne(HwThread &t, Cycle now, SrcProbe probe)
 {
     if (t.rob.size() >= robCapacity())
         return false;
     if (now < t.fetchStallUntil)
         return false;
-    if (!t.src || !t.src->available())
+    // A None/Pure probe elides the availability call whose outcome the
+    // pipeline driver already knows to be side-effect free (the
+    // default, Effectful, is the reference behaviour).
+    if (probe == SrcProbe::None)
+        return false;
+    if (probe == SrcProbe::Effectful && (!t.src || !t.src->available()))
         return false;
 
     Instruction inst = t.src->fetch();
@@ -196,6 +203,130 @@ Core::tick(Cycle now)
         }
         dispatchRr_ = (dispatchRr_ + 1) % n;
     }
+}
+
+unsigned
+Core::stepCycle(Cycle now, const SrcProbe *probes)
+{
+    // Exact mirror of tick() — same state transitions, same counters,
+    // same call order — minus tick()'s per-cycle heap allocations and
+    // minus source calls a None/Pure probe proves side-effect free.
+    // tests/test_pipeline.cc holds the two paths bit-identical.
+    ++cycles_;
+    unsigned n = unsigned(threads_.size());
+    if (n == 0)
+        return 0;
+
+    for (unsigned i = 0; i < n; ++i) {
+        HwThread &t = threads_[i];
+        if (t.rob.size() >= robCapacity())
+            ++t.stats.robFullCycles;
+        if (now < t.fetchStallUntil)
+            ++t.stats.fetchBubbleCycles;
+        if (t.rob.empty()) {
+            bool avail = probes[i] == SrcProbe::Pure ||
+                         (probes[i] == SrcProbe::Effectful && t.src &&
+                          t.src->available());
+            if (!avail)
+                ++t.stats.idleCycles;
+        }
+    }
+
+    unsigned activity = 0;
+    {
+        unsigned budget = params_.width;
+        std::array<bool, 2> open{true, n > 1};
+        unsigned t = commitRr_;
+        while (budget > 0 && (open[0] || open[1])) {
+            if (open[t]) {
+                if (tryCommitOne(threads_[t], now)) {
+                    --budget;
+                    ++activity;
+                } else {
+                    open[t] = false;
+                }
+            }
+            t = (t + 1) % n;
+        }
+        commitRr_ = (commitRr_ + 1) % n;
+    }
+
+    {
+        unsigned budget = params_.width;
+        std::array<bool, 2> open{true, n > 1};
+        unsigned t = dispatchRr_;
+        while (budget > 0 && (open[0] || open[1])) {
+            if (open[t]) {
+                if (tryDispatchOne(threads_[t], now, probes[t])) {
+                    --budget;
+                    ++activity;
+                } else {
+                    open[t] = false;
+                }
+            }
+            t = (t + 1) % n;
+        }
+        dispatchRr_ = (dispatchRr_ + 1) % n;
+    }
+    return activity;
+}
+
+Cycle
+Core::nextActivity(Cycle now, const SrcProbe *probes) const
+{
+    Cycle wake = invalidCycle;
+    for (unsigned i = 0; i < threads_.size(); ++i) {
+        const HwThread &t = threads_[i];
+        // With an empty ROB and an effectful source, the idle-condition
+        // accounting itself calls available() (which may pop work), so
+        // the cycle cannot be skipped.
+        if (t.rob.empty() && probes[i] == SrcProbe::Effectful)
+            return now;
+        if (!t.rob.empty()) {
+            const RobEntry &head = t.rob.front();
+            if (!t.sink || t.sink->canCommit(head.inst)) {
+                if (head.readyAt <= now)
+                    return now;
+                wake = std::min(wake, head.readyAt);
+            }
+            // A refused head never commits while external state is
+            // frozen; only sinkStallCycles accrue (see skipCycles).
+        }
+        if (t.rob.size() < robCapacity() && probes[i] != SrcProbe::None) {
+            if (now >= t.fetchStallUntil)
+                return now;
+            wake = std::min(wake, t.fetchStallUntil);
+        }
+    }
+    return wake;
+}
+
+void
+Core::skipCycles(Cycle from, std::uint64_t n, const SrcProbe *probes)
+{
+    cycles_ += n;
+    unsigned nt = unsigned(threads_.size());
+    if (nt == 0)
+        return;
+    for (unsigned i = 0; i < nt; ++i) {
+        HwThread &t = threads_[i];
+        if (t.rob.size() >= robCapacity())
+            t.stats.robFullCycles += n;
+        if (from < t.fetchStallUntil)
+            t.stats.fetchBubbleCycles +=
+                std::min<std::uint64_t>(n, t.fetchStallUntil - from);
+        if (t.rob.empty() && probes[i] == SrcProbe::None)
+            t.stats.idleCycles += n;
+        if (!t.rob.empty() && t.sink &&
+            !t.sink->canCommit(t.rob.front().inst)) {
+            // Refusal stalls count from the cycle the head is ready.
+            Cycle readyFrom = std::max(t.rob.front().readyAt, from);
+            if (readyFrom < from + n)
+                t.stats.sinkStallCycles += from + n - readyFrom;
+        }
+    }
+    commitRr_ = unsigned((commitRr_ + n) % nt);
+    dispatchRr_ = unsigned((dispatchRr_ + n) % nt);
 }
 
 bool

@@ -45,9 +45,14 @@ class ShadowMemory
     std::uint8_t
     read(Addr mdAddr) const
     {
-        auto it = pages_.find(pageAlign(mdAddr));
+        Addr base = pageAlign(mdAddr);
+        if (base == lastBase_ && lastPage_)
+            return (*lastPage_)[mdAddr & (pageSize - 1)];
+        auto it = pages_.find(base);
         if (it == pages_.end())
             return default_;
+        lastBase_ = base;
+        lastPage_ = it->second.get();
         return (*it->second)[mdAddr & (pageSize - 1)];
     }
 
@@ -95,6 +100,8 @@ class ShadowMemory
     clear()
     {
         pages_.clear();
+        lastBase_ = ~Addr(0);
+        lastPage_ = nullptr;
     }
 
   private:
@@ -103,16 +110,25 @@ class ShadowMemory
     Page &
     page(Addr mdAddr)
     {
-        auto &slot = pages_[pageAlign(mdAddr)];
+        Addr base = pageAlign(mdAddr);
+        if (base == lastBase_ && lastPage_)
+            return *lastPage_;
+        auto &slot = pages_[base];
         if (!slot) {
             slot = std::make_unique<Page>();
             slot->fill(default_);
         }
+        lastBase_ = base;
+        lastPage_ = slot.get();
         return *slot;
     }
 
     std::uint8_t default_;
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /** Memo of the most recently touched page (purely an access
+     *  accelerator: no functional state lives here). */
+    mutable Addr lastBase_ = ~Addr(0);
+    mutable Page *lastPage_ = nullptr;
 };
 
 } // namespace fade

@@ -4,13 +4,25 @@
  * queues of the monitoring system: the 32-entry event queue between the
  * application core and FADE, and the 16-entry unfiltered event queue
  * between FADE and the monitor (Sections 3.2 and 3.4 of the paper).
+ *
+ * Storage is a ring buffer (bounded queues allocate exactly once, at
+ * construction; unbounded queues grow by doubling), replacing the
+ * per-block churn of the previous std::deque implementation on the
+ * event-transport hot path. pushRun()/popRun() provide the bulk
+ * transport used by the run-to-stall pipeline engine
+ * (system/pipeline.hh); both are element-for-element equivalent to a
+ * loop of push()/pop() calls — identical rejection accounting and
+ * identical per-event occupancy sampling — so engines built on bulk
+ * transport stay bit-identical to per-cycle execution.
  */
 
 #ifndef FADE_SIM_QUEUE_HH
 #define FADE_SIM_QUEUE_HH
 
 #include <cstddef>
-#include <deque>
+#include <iterator>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -29,18 +41,18 @@ class BoundedQueue
 {
   public:
     explicit BoundedQueue(std::size_t capacity = 0)
-        : capacity_(capacity)
+        : capacity_(capacity), buf_(capacity ? capacity : minUnboundedSlots)
     {}
 
     /** True when a push would be rejected. */
     bool
     full() const
     {
-        return capacity_ != 0 && q_.size() >= capacity_;
+        return capacity_ != 0 && count_ >= capacity_;
     }
 
-    bool empty() const { return q_.empty(); }
-    std::size_t size() const { return q_.size(); }
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
     std::size_t capacity() const { return capacity_; }
 
     /**
@@ -54,49 +66,137 @@ class BoundedQueue
             ++rejects_;
             return false;
         }
-        q_.push_back(v);
+        if (count_ == buf_.size())
+            grow();
+        buf_[wrap(head_ + count_)] = v;
+        ++count_;
         ++pushes_;
-        occupancy_.sample(q_.size());
+        occupancy_.sample(count_);
         return true;
+    }
+
+    /**
+     * Append a run of entries, each with exactly the accounting of an
+     * individual push(): entries are accepted until the queue fills,
+     * every accepted entry samples the occupancy it observes, and every
+     * entry past the fill point counts one rejection.
+     * @return the number of entries accepted.
+     */
+    template <typename InputIt>
+    std::size_t
+    pushRun(InputIt first, InputIt last)
+    {
+        std::size_t accepted = 0;
+        for (; first != last; ++first)
+            if (push(*first))
+                ++accepted;
+        return accepted;
     }
 
     /** Front entry; queue must be non-empty. */
     const T &
     front() const
     {
-        panic_if(q_.empty(), "front() on empty queue");
-        return q_.front();
+        panic_if(empty(), "front() on empty queue");
+        return buf_[head_];
     }
 
     T &
     front()
     {
-        panic_if(q_.empty(), "front() on empty queue");
-        return q_.front();
+        panic_if(empty(), "front() on empty queue");
+        return buf_[head_];
     }
 
     /** Remove and return the front entry; queue must be non-empty. */
     T
     pop()
     {
-        panic_if(q_.empty(), "pop() on empty queue");
-        T v = q_.front();
-        q_.pop_front();
+        panic_if(empty(), "pop() on empty queue");
+        T v = std::move(buf_[head_]);
+        head_ = wrap(head_ + 1);
+        --count_;
         ++pops_;
         return v;
+    }
+
+    /**
+     * Remove up to @p n front entries, discarding them. Equivalent to
+     * (and accounted exactly as) min(n, size()) pop() calls; pops never
+     * sample the occupancy histogram. Used by the batched engine to
+     * drain a queue across a fast-forwarded span in one call.
+     * @return the number of entries removed.
+     */
+    std::size_t
+    popRun(std::size_t n)
+    {
+        std::size_t k = n < count_ ? n : count_;
+        head_ = wrap(head_ + k);
+        count_ -= k;
+        pops_ += k;
+        return k;
+    }
+
+    /** Remove up to @p n front entries into @p out (FIFO order). */
+    template <typename OutputIt>
+    std::size_t
+    popRun(std::size_t n, OutputIt out)
+    {
+        std::size_t k = n < count_ ? n : count_;
+        for (std::size_t i = 0; i < k; ++i) {
+            *out++ = std::move(buf_[head_]);
+            head_ = wrap(head_ + 1);
+        }
+        count_ -= k;
+        pops_ += k;
+        return k;
     }
 
     void
     clear()
     {
-        q_.clear();
+        head_ = 0;
+        count_ = 0;
     }
 
-    /** Iteration support (the FSQ searches its entries associatively). */
-    auto begin() { return q_.begin(); }
-    auto end() { return q_.end(); }
-    auto begin() const { return q_.begin(); }
-    auto end() const { return q_.end(); }
+    /** Iteration support (associative searches in tests/tools). */
+    template <typename Q, typename V>
+    class Iter
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = V *;
+        using reference = V &;
+
+        Iter(Q *q, std::size_t i) : q_(q), i_(i) {}
+        V &operator*() const { return q_->buf_[q_->wrap(q_->head_ + i_)]; }
+        V *operator->() const { return &**this; }
+        Iter &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        bool
+        operator==(const Iter &o) const
+        {
+            return q_ == o.q_ && i_ == o.i_;
+        }
+        bool operator!=(const Iter &o) const { return !(*this == o); }
+
+      private:
+        Q *q_;
+        std::size_t i_;
+    };
+    using iterator = Iter<BoundedQueue, T>;
+    using const_iterator = Iter<const BoundedQueue, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count_}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count_}; }
 
     std::uint64_t pushes() const { return pushes_; }
     std::uint64_t pops() const { return pops_; }
@@ -111,8 +211,29 @@ class BoundedQueue
     }
 
   private:
+    static constexpr std::size_t minUnboundedSlots = 16;
+
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= buf_.size() ? i - buf_.size() : i;
+    }
+
+    /** Unbounded queues double their storage, re-linearized. */
+    void
+    grow()
+    {
+        std::vector<T> next(buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            next[i] = std::move(buf_[wrap(head_ + i)]);
+        buf_ = std::move(next);
+        head_ = 0;
+    }
+
     std::size_t capacity_;
-    std::deque<T> q_;
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     std::uint64_t pushes_ = 0;
     std::uint64_t pops_ = 0;
     std::uint64_t rejects_ = 0;

@@ -47,6 +47,7 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
 
         SystemConfig scfg = cfg_.shard;
         scfg.shardId = std::uint8_t(i);
+        scfg.engine = cfg_.engine;
         shards_.push_back(std::make_unique<MonitoringSystem>(
             scfg, prof, monitors_.back().get(), &l2_));
     }

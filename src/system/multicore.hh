@@ -51,6 +51,14 @@ struct MultiCoreConfig
      *  clock only (plus interference granularity via sliceTicks);
      *  simulated results are policy- and thread-count-invariant. */
     SchedulerConfig scheduler;
+    /**
+     * Intra-shard execution engine, applied to every shard (overrides
+     * shard.engine). Engine::Batched runs each shard's slice through
+     * the run-to-stall pipeline driver; results are bit-identical to
+     * Engine::PerCycle (tests/test_pipeline.cc), only wall clock
+     * changes.
+     */
+    Engine engine = Engine::PerCycle;
 };
 
 /** One shard's slice of a measured run. */

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Run-to-stall batched pipeline engine for one shard.
+ *
+ * The per-cycle reference engine (MonitoringSystem::tickOnce) walks
+ * core -> event queue -> FADE -> unfiltered event queue -> MD cache ->
+ * monitor every cycle, even when most components are idle or the whole
+ * shard is waiting out a long memory latency. This driver advances the
+ * same components through the same cycles with the same semantics, but
+ * in two cheaper ways:
+ *
+ *  - Active cycles run through a fused step (Core::stepCycle +
+ *    Fade::tick in the exact tickOnce() order) that eliminates the
+ *    reference path's per-cycle heap allocations and elides source
+ *    calls whose outcome is already known to be side-effect free
+ *    (SrcProbe).
+ *
+ *  - Frozen spans — every component stalled with provably constant
+ *    inputs (ROB head waiting on a cache miss, FADE waiting on an
+ *    MD-cache fill or on backpressure, monitor idle) — are skipped in
+ *    one jump to the earliest wake-up cycle, with each component
+ *    batch-applying exactly the per-cycle condition counters the
+ *    skipped ticks would have recorded (Core::skipCycles,
+ *    Fade::skipCycles, BoundedQueue::popRun for the perfect consumer).
+ *
+ * Because every fused step performs the reference transition for its
+ * cycle and every jump is taken only when the reference ticks of the
+ * span are proven to change nothing but the batch-applied counters,
+ * the engine is bit-identical to per-cycle execution — same cycle
+ * counts, same statistics, same RNG/functional state — for every
+ * configuration. docs/ARCHITECTURE.md gives the stall-condition table
+ * and the equality argument; tests/test_pipeline.cc enforces it across
+ * the full profile x monitor x shard-count x policy matrix.
+ */
+
+#ifndef FADE_SYSTEM_PIPELINE_HH
+#define FADE_SYSTEM_PIPELINE_HH
+
+#include <cstdint>
+
+#include "cpu/core.hh"
+#include "system/system.hh"
+
+namespace fade
+{
+
+/** Host-side accounting of one driver (simulation-invisible). */
+struct PipelineDriverStats
+{
+    /** Cycles executed through the fused step. */
+    std::uint64_t fusedCycles = 0;
+    /** Cycles fast-forwarded without execution. */
+    std::uint64_t skippedCycles = 0;
+    /** Jumps taken (each skips >= 1 cycle). */
+    std::uint64_t jumps = 0;
+};
+
+/**
+ * Drives one MonitoringSystem in run-to-stall batches. Owned by the
+ * system when SystemConfig::engine == Engine::Batched; stateless
+ * between calls except for cached component pointers, so it composes
+ * with the shard scheduler's bounded slices exactly like the per-cycle
+ * loop (a slice boundary is just a cycle limit).
+ */
+class PipelineDriver
+{
+  public:
+    explicit PipelineDriver(MonitoringSystem &sys);
+
+    /**
+     * Advance until @p maxCycles cycles are consumed or the producer
+     * has retired @p targetRetired instructions, whichever first —
+     * semantically identical to that many tickOnce() calls.
+     * @return the number of simulated cycles consumed.
+     */
+    std::uint64_t runUntil(std::uint64_t maxCycles,
+                           std::uint64_t targetRetired);
+
+    const PipelineDriverStats &stats() const { return stats_; }
+
+  private:
+    /** Source probe for the monitor software process this cycle. */
+    SrcProbe monProbe() const;
+
+    /**
+     * Try to fast-forward a frozen span starting at the current cycle.
+     * @return true (with state batch-updated and the clock advanced)
+     *         when a span of at least one cycle was skipped.
+     */
+    bool tryJump(Cycle end, const SrcProbe *appProbes,
+                 const SrcProbe *monProbes);
+
+    MonitoringSystem &sys_;
+    Core *appCore_;
+    Core *monCore_;
+    Fade *fade_;
+    BoundedQueue<MonEvent> *eq_;
+    EventProducer *producer_;
+    MonitorProcess *mproc_;
+    /** The monitor process runs as hardware thread 1 of the app core
+     *  (single-core SMT config). */
+    bool monOnApp_;
+    /** The monitor process consumes the event queue directly
+     *  (unaccelerated config): its input can grow mid-core-tick, so
+     *  its source may never be probed away. */
+    bool monReadsEq_;
+    bool perfect_;
+    PipelineDriverStats stats_;
+};
+
+} // namespace fade
+
+#endif // FADE_SYSTEM_PIPELINE_HH

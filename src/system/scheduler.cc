@@ -36,10 +36,10 @@ ShardRunner::beginRun(std::uint64_t instructions)
 void
 ShardRunner::runSlice(std::uint64_t maxTicks)
 {
-    for (std::uint64_t t = 0; t < maxTicks && !done(); ++t) {
-        sys_.tickOnce();
-        ++ticksUsed_;
-    }
+    // The engine behind advance() is the shard's own choice (per-cycle
+    // reference loop or the run-to-stall pipeline driver); both consume
+    // exactly the cycles the legacy tickOnce() loop would have.
+    ticksUsed_ += sys_.advance(maxTicks, target_);
 }
 
 ShardScheduler::ShardScheduler(const SchedulerConfig &cfg,

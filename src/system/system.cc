@@ -1,6 +1,7 @@
 #include "system/system.hh"
 
 #include "sim/logging.hh"
+#include "system/pipeline.hh"
 
 namespace fade
 {
@@ -89,7 +90,12 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
         if (mproc_)
             appCore_->addThread(mproc_.get(), mproc_.get());
     }
+
+    if (cfg_.engine == Engine::Batched)
+        driver_ = std::make_unique<PipelineDriver>(*this);
 }
+
+MonitoringSystem::~MonitoringSystem() = default;
 
 void
 MonitoringSystem::tickAll()
@@ -202,14 +208,25 @@ MonitoringSystem::endSlice()
     return r;
 }
 
+std::uint64_t
+MonitoringSystem::advance(std::uint64_t maxCycles,
+                          std::uint64_t targetRetired)
+{
+    if (driver_)
+        return driver_->runUntil(maxCycles, targetRetired);
+    Cycle start = now_;
+    Cycle end = now_ + maxCycles;
+    while (now_ < end && producer_->retired() < targetRetired)
+        tickAll();
+    return now_ - start;
+}
+
 void
 MonitoringSystem::runUntilRetired(std::uint64_t instructions,
                                   const char *what)
 {
     std::uint64_t target = producer_->retired() + instructions;
-    Cycle limit = now_ + sliceCycleLimit(instructions);
-    while (producer_->retired() < target && now_ < limit)
-        tickAll();
+    advance(sliceCycleLimit(instructions), target);
     panic_if(producer_->retired() < target,
              what, " failed to make progress (deadlock?)");
 }

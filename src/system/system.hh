@@ -35,6 +35,25 @@
 namespace fade
 {
 
+class PipelineDriver;
+
+/**
+ * Intra-shard execution engine. Both engines produce bit-identical
+ * statistics (tests/test_pipeline.cc); they differ only in wall-clock
+ * cost.
+ */
+enum class Engine : std::uint8_t
+{
+    /** Reference semantics: every component ticks every cycle
+     *  (tickOnce()). */
+    PerCycle,
+    /** Run-to-stall batched engine: the pipeline driver
+     *  (system/pipeline.hh) steps components through active cycles
+     *  with allocation-free fused stepping and fast-forwards provably
+     *  frozen spans with exact batch accounting. */
+    Batched,
+};
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -52,6 +71,8 @@ struct SystemConfig
     /** Home shard id in a sharded multi-core system (0 = single-core).
      *  Stamped into every produced event and checked by FADE. */
     std::uint8_t shardId = 0;
+    /** Intra-shard execution engine (results are engine-invariant). */
+    Engine engine = Engine::PerCycle;
 };
 
 /**
@@ -105,6 +126,8 @@ class MonitoringSystem
      */
     MonitoringSystem(const SystemConfig &cfg, const BenchProfile &profile,
                      Monitor *mon, Cache *sharedL2);
+
+    ~MonitoringSystem();
 
     /** Run @p instructions app instructions without collecting stats. */
     void warmup(std::uint64_t instructions);
@@ -163,10 +186,29 @@ class MonitoringSystem
     const MonitorProcess *monitorProcess() const { return mproc_.get(); }
     Cycle now() const { return now_; }
 
+    /** The run-to-stall driver, or nullptr under Engine::PerCycle
+     *  (host-side accounting; include system/pipeline.hh to use). */
+    const PipelineDriver *pipelineDriver() const { return driver_.get(); }
+
     /** Advance the whole system by one cycle (tests). */
     void tickOnce();
 
+    /**
+     * Advance by at most @p maxCycles cycles, stopping as soon as
+     * @p targetRetired app instructions have retired since the last
+     * statistics reset — through the configured engine: the per-cycle
+     * reference loop, or the run-to-stall pipeline driver. Both stop at
+     * exactly the same cycle with exactly the same machine state.
+     * Used by run()/warmup() and by the shard scheduler's bounded
+     * slices (ShardRunner::runSlice).
+     * @return the number of simulated cycles consumed.
+     */
+    std::uint64_t advance(std::uint64_t maxCycles,
+                          std::uint64_t targetRetired);
+
   private:
+    friend class PipelineDriver;
+
     void tickAll();
     /** Tick until @p instructions more retire (shared by warmup/run). */
     void runUntilRetired(std::uint64_t instructions, const char *what);
@@ -191,6 +233,9 @@ class MonitoringSystem
 
     std::unique_ptr<Core> appCore_; ///< also the single shared core
     std::unique_ptr<Core> monCore_; ///< two-core config only
+
+    /** Run-to-stall driver (Engine::Batched only). */
+    std::unique_ptr<PipelineDriver> driver_;
 
     Cycle now_ = 0;
     Cycle sliceStart_ = 0;

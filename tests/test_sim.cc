@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <iterator>
 #include <set>
+#include <vector>
 
 #include "sim/queue.hh"
 #include "sim/random.hh"
@@ -174,5 +177,154 @@ TEST_P(QueueCapacitySweep, PushPopInvariants)
 
 INSTANTIATE_TEST_SUITE_P(Capacities, QueueCapacitySweep,
                          ::testing::Values(1, 2, 8, 16, 32, 0));
+
+TEST(BoundedQueue, RingWraparoundPreservesFifoOrder)
+{
+    // Drive the ring's head all the way around a small buffer several
+    // times with interleaved push/pop, checking order throughout.
+    BoundedQueue<int> q(3);
+    int next = 0, expect = 0;
+    q.push(next++);
+    for (int i = 0; i < 50; ++i) {
+        q.push(next++);
+        ASSERT_EQ(q.pop(), expect++);
+    }
+    ASSERT_EQ(q.pop(), expect++);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, UnboundedGrowthPreservesOrderAfterWrap)
+{
+    // Force a mid-ring grow: pop a prefix so the contents straddle the
+    // wrap point, then push past the current storage size.
+    BoundedQueue<int> q(0);
+    for (int i = 0; i < 12; ++i)
+        q.push(i);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_EQ(q.pop(), i);
+    for (int i = 12; i < 100; ++i)
+        q.push(i);
+    for (int i = 10; i < 100; ++i)
+        ASSERT_EQ(q.pop(), i);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, IterationMatchesFifoOrderAcrossWrap)
+{
+    BoundedQueue<int> q(4);
+    q.push(0);
+    q.push(1);
+    q.push(2);
+    q.pop();
+    q.pop();
+    q.push(3);
+    q.push(4); // contents {2, 3, 4}, physically wrapped
+    std::vector<int> seen;
+    for (int v : q)
+        seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<int>{2, 3, 4}));
+    const BoundedQueue<int> &cq = q;
+    seen.clear();
+    for (const int &v : cq)
+        seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(BoundedQueue, PushRunMatchesIndividualPushSemantics)
+{
+    // pushRun must be element-for-element identical to a push() loop:
+    // same acceptance cutoff, same per-event occupancy samples, same
+    // rejection count.
+    std::vector<int> vals{1, 2, 3, 4, 5, 6};
+    BoundedQueue<int> bulk(4), loop(4);
+    bulk.push(0);
+    loop.push(0);
+    EXPECT_EQ(bulk.pushRun(vals.begin(), vals.end()), 3u);
+    for (int v : vals)
+        loop.push(v);
+    EXPECT_EQ(bulk.size(), loop.size());
+    EXPECT_EQ(bulk.pushes(), loop.pushes());
+    EXPECT_EQ(bulk.rejects(), loop.rejects());
+    EXPECT_EQ(bulk.rejects(), 3u);
+    EXPECT_EQ(bulk.occupancy().total(), loop.occupancy().total());
+    EXPECT_EQ(bulk.occupancy().buckets(), loop.occupancy().buckets());
+    while (!bulk.empty())
+        EXPECT_EQ(bulk.pop(), loop.pop());
+}
+
+TEST(BoundedQueue, PopRunDiscardsAndCounts)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.push(i);
+    EXPECT_EQ(q.popRun(4), 4u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pops(), 4u);
+    EXPECT_EQ(q.front(), 4);
+    // Over-ask clamps to the population, like that many pop() calls.
+    EXPECT_EQ(q.popRun(10), 2u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pops(), 6u);
+    EXPECT_EQ(q.popRun(3), 0u);
+}
+
+TEST(BoundedQueue, PopRunIntoOutputIterator)
+{
+    BoundedQueue<int> q(0);
+    for (int i = 0; i < 8; ++i)
+        q.push(i * 10);
+    std::vector<int> out;
+    EXPECT_EQ(q.popRun(5, std::back_inserter(out)), 5u);
+    EXPECT_EQ(out, (std::vector<int>{0, 10, 20, 30, 40}));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 50);
+    EXPECT_EQ(q.pops(), 5u);
+}
+
+TEST(BoundedQueue, BulkAndScalarInterleaveLikeAFifo)
+{
+    // Randomized cross-check: a ring queue driven by a mix of scalar
+    // and bulk operations behaves exactly like a reference FIFO model.
+    BoundedQueue<int> q(16);
+    std::deque<int> model;
+    Rng r(7);
+    int next = 0;
+    for (int step = 0; step < 20000; ++step) {
+        double dice = r.uniform();
+        if (dice < 0.35) {
+            bool ok = q.push(next);
+            bool mok = model.size() < 16;
+            ASSERT_EQ(ok, mok);
+            if (mok)
+                model.push_back(next);
+            ++next;
+        } else if (dice < 0.55) {
+            std::vector<int> run;
+            for (unsigned i = 0; i < r.range(9); ++i)
+                run.push_back(next++);
+            std::size_t accepted = q.pushRun(run.begin(), run.end());
+            std::size_t expect = 0;
+            for (int v : run)
+                if (model.size() < 16) {
+                    model.push_back(v);
+                    ++expect;
+                }
+            ASSERT_EQ(accepted, expect);
+        } else if (dice < 0.8) {
+            if (!model.empty()) {
+                ASSERT_EQ(q.pop(), model.front());
+                model.pop_front();
+            }
+        } else {
+            std::size_t n = r.range(7);
+            std::size_t k = q.popRun(n);
+            ASSERT_EQ(k, std::min(n, model.size()));
+            model.erase(model.begin(), model.begin() + k);
+        }
+        ASSERT_EQ(q.size(), model.size());
+        if (!model.empty())
+            ASSERT_EQ(q.front(), model.front());
+    }
+}
 
 } // namespace fade
