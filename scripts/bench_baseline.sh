@@ -1,0 +1,40 @@
+#!/bin/sh
+# Capture the current perf baseline as JSON lines so the trajectory of
+# the functional-layer fast paths is recorded in-repo. Runs the two
+# micro harnesses (micro_trace: generator ns/instr + container op
+# rates; micro_pipeline: end-to-end engine events/s with the hard
+# bit-equality check) and collects every JSON line they emit into one
+# file. Usage:
+#
+#   sh scripts/bench_baseline.sh [builddir] [outfile]
+#
+# Defaults: builddir=build, outfile=BENCH_pr4.json. Numbers are only
+# comparable on the same host under the same load — see
+# docs/BENCHMARKS.md for the measurement protocol.
+set -eu
+cd "$(dirname "$0")/.."
+
+builddir=${1:-build}
+out=${2:-BENCH_pr4.json}
+
+for bin in micro_trace micro_pipeline; do
+    if [ ! -x "$builddir/$bin" ]; then
+        echo "missing $builddir/$bin — build first:" >&2
+        echo "  cmake -B $builddir -S . && cmake --build $builddir -j" >&2
+        exit 1
+    fi
+done
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== micro_trace (3 reps, best visible in the lines) =="
+for rep in 1 2 3; do
+    "$builddir/micro_trace" | tee -a "$tmp"
+done
+
+echo "== micro_pipeline (3 reps inside the harness) =="
+"$builddir/micro_pipeline" | tee -a "$tmp"
+
+grep '^{' "$tmp" > "$out"
+echo "wrote $(grep -c . "$out") JSON lines to $out"

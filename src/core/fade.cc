@@ -23,8 +23,7 @@ Fade::bind(BoundedQueue<MonEvent> *eq, BoundedQueue<UnfilteredEvent> *ueq)
 bool
 Fade::pipelineEmpty() const
 {
-    return !etr_.valid && !ctrl_.valid && !mdr_.valid && !filt_.valid &&
-           !mw_.valid;
+    return pipeOcc_ == 0;
 }
 
 bool
@@ -40,40 +39,46 @@ Fade::quiesced() const
     return !busy() && outstanding_ == 0 && (!eq_ || eq_->empty());
 }
 
-MonEvent
-Fade::popEvent()
+void
+Fade::popEventInto(MonEvent &dst)
 {
-    MonEvent ev = eq_->pop();
+    // One copy straight into the destination latch; popRun(1) retires
+    // the head with exactly pop()'s accounting.
+    const MonEvent &ev = eq_->front();
     if (ev.shard != shardId_)
         ++stats_.crossShardEvents;
-    return ev;
+    dst = ev;
+    eq_->popRun(1);
 }
 
 OperandMd
 Fade::gatherMd(const EventTableEntry &e, const MonEvent &ev) const
 {
+    const PipeSlot &mw = stage(SMw);
     OperandMd md;
     auto memRead = [&]() -> std::uint8_t {
         Addr a = mdAddrOf(ev.appAddr);
         if (params_.nonBlocking) {
             // Back-to-back dependence: forward from the Metadata Write
             // latch before it commits to the FSQ (Section 5.2).
-            if (mw_.valid && mw_.nbVal && mw_.nbDestIsMem &&
-                mdAddrOf(mw_.ev.appAddr) == a) {
-                return *mw_.nbVal;
+            if (mw.valid && mw.nbVal && mw.nbDestIsMem &&
+                mdAddrOf(mw.ev.appAddr) == a) {
+                return *mw.nbVal;
             }
             // The FSQ is searched in parallel with the MD cache; a
             // matching entry satisfies the dependence (Section 5.2).
-            if (auto v = fsq_.lookup(a))
-                return *v;
+            if (!fsq_.empty()) {
+                if (auto v = fsq_.lookup(a))
+                    return *v;
+            }
         }
         return ctx_.shadow.read(a);
     };
     auto regRead = [&](RegIndex r) -> std::uint8_t {
-        if (params_.nonBlocking && mw_.valid && mw_.nbVal &&
-            !mw_.nbDestIsMem && mw_.ev.tid == ev.tid &&
-            mw_.ev.hasDst && mw_.ev.dst == r) {
-            return *mw_.nbVal;
+        if (params_.nonBlocking && mw.valid && mw.nbVal &&
+            !mw.nbDestIsMem && mw.ev.tid == ev.tid &&
+            mw.ev.hasDst && mw.ev.dst == r) {
+            return *mw.nbVal;
         }
         return ctx_.regMd.read(ev.tid, r);
     };
@@ -127,20 +132,21 @@ bool
 Fade::advanceMw(Cycle now)
 {
     (void)now;
-    if (!mw_.valid)
+    PipeSlot &mw = stage(SMw);
+    if (!mw.valid)
         return true;
-    if (mw_.nbVal) {
-        if (mw_.nbDestIsMem) {
+    if (mw.nbVal) {
+        if (mw.nbDestIsMem) {
             if (fsq_.full()) {
                 ++stats_.stallFsqFull;
                 return false;
             }
-            fsq_.push(mdAddrOf(mw_.ev.appAddr), *mw_.nbVal, mw_.ev.seq);
+            fsq_.push(mdAddrOf(mw.ev.appAddr), *mw.nbVal, mw.ev.seq);
         } else {
-            ctx_.regMd.write(mw_.ev.tid, mw_.ev.dst, *mw_.nbVal);
+            ctx_.regMd.write(mw.ev.tid, mw.ev.dst, *mw.nbVal);
         }
     }
-    mw_.valid = false;
+    latchDrain(mw);
     return true;
 }
 
@@ -148,25 +154,26 @@ void
 Fade::advanceFilter(Cycle now)
 {
     (void)now;
-    if (!filt_.valid)
+    PipeSlot &filt = stage(SFilt);
+    if (!filt.valid)
         return;
-    if (filt_.shotsLeft > 1) {
-        --filt_.shotsLeft;
+    if (filt.shotsLeft > 1) {
+        --filt.shotsLeft;
         return;
     }
 
-    const FilterOutcome &out = filt_.out;
+    const FilterOutcome &out = filt.out;
     if (out.filtered) {
         ++stats_.instEvents;
         ++stats_.filtered;
-        if (filt_.ev.eventId < numCanonicalEvents)
-            ++stats_.filteredById[filt_.ev.eventId];
+        if (filt.ev.eventId < numCanonicalEvents)
+            ++stats_.filteredById[filt.ev.eventId];
         if (out.ccPassed)
             ++stats_.filteredCC;
         else if (out.ruPassed)
             ++stats_.filteredRU;
         ++sinceUnfiltered_;
-        filt_.valid = false;
+        latchDrain(filt);
         return;
     }
 
@@ -177,17 +184,16 @@ Fade::advanceFilter(Cycle now)
         return;
     }
 
-    UnfilteredEvent u;
-    u.ev = filt_.ev;
-    u.handlerPc = out.handlerPc;
-    u.checkPassed = out.checkPassed;
-    u.hwChecked = true;
-    ueq_->push(u);
+    UnfilteredEvent *u = ueq_->pushSlot();
+    u->ev = filt.ev;
+    u->handlerPc = out.handlerPc;
+    u->checkPassed = out.checkPassed;
+    u->hwChecked = true;
     ++outstanding_;
 
     ++stats_.instEvents;
-    if (filt_.ev.eventId < numCanonicalEvents)
-        ++stats_.softwareById[filt_.ev.eventId];
+    if (filt.ev.eventId < numCanonicalEvents)
+        ++stats_.softwareById[filt.ev.eventId];
     if (out.partial) {
         if (out.checkPassed)
             ++stats_.partialPass;
@@ -196,60 +202,64 @@ Fade::advanceFilter(Cycle now)
     } else {
         ++stats_.unfiltered;
     }
-    recordSoftwareBound(filt_.ev);
+    recordSoftwareBound(filt.ev);
 
     if (params_.nonBlocking) {
-        const EventTableEntry &e = table_.lookup(filt_.ev.eventId);
-        auto val = computeMdUpdate(e.nb, filt_.md, inv_);
+        const EventTableEntry &e = table_.lookup(filt.ev.eventId);
+        auto val = computeMdUpdate(e.nb, filt.md, inv_);
         if (val) {
-            mw_ = filt_;
-            mw_.nbVal = val;
-            mw_.nbDestIsMem = e.d.valid && e.d.mem;
-            mw_.valid = true;
+            // MW latch takes the event: swap the (invalid) MW slot in
+            // under FILTER instead of copying the payload across. The
+            // moved slot keeps valid == true, the vacated one keeps
+            // false — occupancy is unchanged by construction.
+            shift(SFilt, SMw);
+            PipeSlot &mw = stage(SMw);
+            mw.nbVal = val;
+            mw.nbDestIsMem = e.d.valid && e.d.mem;
+            return;
         }
     } else {
         blocked_ = true;
-        blockedSeq_ = filt_.ev.seq;
+        blockedSeq_ = filt.ev.seq;
     }
-    filt_.valid = false;
+    latchDrain(filt);
 }
 
 void
 Fade::advanceMdr(Cycle now)
 {
-    if (!mdr_.valid || filt_.valid || now < mdr_.readyAt)
+    if (!stage(SMdr).valid || stage(SFilt).valid ||
+        now < stage(SMdr).readyAt)
         return;
-    const EventTableEntry &e = table_.lookup(mdr_.ev.eventId);
-    filt_ = mdr_;
+    // The event moves MDR -> FILTER by index swap; the vacated MDR
+    // stage inherits the invalid slot FILTER held.
+    shift(SMdr, SFilt);
+    PipeSlot &filt = stage(SFilt);
+    const EventTableEntry &e = table_.lookup(filt.ev.eventId);
     // Metadata is (re)gathered on Filter entry: this models the
     // MW-to-Filter forwarding path for back-to-back dependences.
-    filt_.md = gatherMd(e, filt_.ev);
-    filt_.out = logic_.evaluate(table_, filt_.ev.eventId, filt_.md);
-    filt_.shotsLeft = filt_.out.shots;
-    stats_.shots += filt_.out.shots;
-    stats_.comparisons += filt_.out.blocksUsed;
-    filt_.valid = true;
-    mdr_.valid = false;
+    filt.md = gatherMd(e, filt.ev);
+    filt.out = logic_.evaluate(table_, filt.ev.eventId, filt.md);
+    filt.shotsLeft = filt.out.shots;
+    stats_.shots += filt.out.shots;
+    stats_.comparisons += filt.out.blocksUsed;
+    // The swapped-in slot is already valid; occupancy unchanged.
 }
 
 void
 Fade::advanceCtrl()
 {
-    if (!ctrl_.valid || mdr_.valid)
+    if (!stage(SCtrl).valid || stage(SMdr).valid)
         return;
-    mdr_ = ctrl_;
-    mdr_.valid = true;
-    ctrl_.valid = false;
+    shift(SCtrl, SMdr);
 }
 
 void
 Fade::advanceEtr()
 {
-    if (!etr_.valid || ctrl_.valid)
+    if (!stage(SEtr).valid || stage(SCtrl).valid)
         return;
-    ctrl_ = etr_;
-    ctrl_.valid = true;
-    etr_.valid = false;
+    shift(SEtr, SCtrl);
 }
 
 void
@@ -261,16 +271,21 @@ Fade::frontEnd(Cycle now)
             return;
         const MonEvent &head = eq_->front();
         if (head.isInst()) {
-            if (etr_.valid)
+            PipeSlot &etr = stage(SEtr);
+            if (etr.valid)
                 return;
             fatal_if(!table_.validAt(head.eventId),
                      "monitored event id ", unsigned(head.eventId),
                      " has no event table entry");
-            etr_ = PipeSlot{};
-            etr_.ev = popEvent();
-            etr_.valid = true;
+            // No full-slot reset: every other latch field is written
+            // on stage entry before it is read (md/out/shotsLeft at
+            // FILTER, nbVal/nbDestIsMem on the MW hand-off), and
+            // readyAt is never written anywhere, so it stays at its
+            // constructed 0.
+            popEventInto(etr.ev);
+            latchFill(etr);
         } else if (head.isStackUpdate()) {
-            pendingFront_ = popEvent();
+            popEventInto(pendingFront_);
             ++stats_.stackEvents;
             front_ = FrontState::WaitDrainStack;
         } else {
@@ -278,7 +293,7 @@ Fade::frontEnd(Cycle now)
             // software. Order is preserved against in-flight
             // instruction events by waiting for the pipe to empty.
             if (params_.drainOnHighLevel) {
-                pendingFront_ = popEvent();
+                popEventInto(pendingFront_);
                 front_ = FrontState::WaitDrainHigh;
                 return;
             }
@@ -291,7 +306,7 @@ Fade::frontEnd(Cycle now)
                 return;
             }
             UnfilteredEvent u;
-            u.ev = popEvent();
+            popEventInto(u.ev);
             ueq_->push(u);
             ++outstanding_;
             ++stats_.highLevelEvents;
@@ -352,10 +367,13 @@ Fade::tick(Cycle now)
 {
     bool active = !pipelineEmpty() || front_ != FrontState::Normal ||
                   blocked_ || suu_.busy() || (eq_ && !eq_->empty());
-    if (active)
-        ++stats_.busyCycles;
-    else
+    if (!active) {
+        // Fully idle: every latch invalid, front quiet, no queued work
+        // — the stage advances and the front end would all no-op.
         ++stats_.idleCycles;
+        return;
+    }
+    ++stats_.busyCycles;
 
     if (front_ == FrontState::SuuActive) {
         // Filtering is stopped while the SUU sets frame metadata.
@@ -391,7 +409,7 @@ Fade::frontFrozen() const
     // regardless of pipeline occupancy.)
     if (!eq_ || eq_->empty())
         return true;
-    return eq_->front().isInst() && etr_.valid;
+    return eq_->front().isInst() && stage(SEtr).valid;
 }
 
 bool
@@ -446,8 +464,11 @@ Fade::stallProfile(Cycle now) const
         p.blocking = true;
         return p;
     }
-    if (mw_.valid) {
-        if (mw_.nbVal && mw_.nbDestIsMem && fsq_.full()) {
+    const PipeSlot &mw = stage(SMw);
+    const PipeSlot &filt = stage(SFilt);
+    const PipeSlot &mdr = stage(SMdr);
+    if (mw.valid) {
+        if (mw.nbVal && mw.nbDestIsMem && fsq_.full()) {
             // MW stalled on a full FSQ: tick returns after the stall
             // count; released by handlerDone() (monitor side).
             p.active = false;
@@ -456,11 +477,11 @@ Fade::stallProfile(Cycle now) const
         }
         return p; // MW commits this cycle
     }
-    if (filt_.valid) {
+    if (filt.valid) {
         bool drains = false;
-        if (filt_.shotsLeft <= 1 && !filt_.out.filtered && ueq_ &&
-            ueq_->full() && mdr_.valid && ctrl_.valid && etr_.valid &&
-            frontInert(&drains)) {
+        if (filt.shotsLeft <= 1 && !filt.out.filtered && ueq_ &&
+            ueq_->full() && mdr.valid && stage(SCtrl).valid &&
+            stage(SEtr).valid && frontInert(&drains)) {
             // Software-bound event stalled on UEQ backpressure with
             // every stage behind it occupied: nothing moves until the
             // monitor pops the UEQ.
@@ -471,21 +492,22 @@ Fade::stallProfile(Cycle now) const
         }
         return p;
     }
-    if (mdr_.valid) {
+    if (mdr.valid) {
         bool drains = false;
-        if (mdr_.readyAt > now && !(etr_.valid && !ctrl_.valid) &&
+        if (mdr.readyAt > now && !(stage(SEtr).valid &&
+                                   !stage(SCtrl).valid) &&
             frontInert(&drains)) {
             // Metadata read in flight (MD-cache miss latency), stages
             // behind it unable to move: pure wait until readyAt.
             p.active = false;
-            p.wakeAt = mdr_.readyAt;
+            p.wakeAt = mdr.readyAt;
             p.drain = drains;
             return p;
         }
         return p;
     }
-    if (ctrl_.valid || etr_.valid)
-        return p; // latches shuffle forward
+    if (stage(SCtrl).valid || stage(SEtr).valid)
+        return p; // latches advance by index swap
     // Pipeline empty; either the front end has queued work or it is
     // draining around a stack update / high-level event.
     switch (front_) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <utility>
 
 #include "core/event_table.hh"
 #include "core/filter_logic.hh"
@@ -184,6 +185,11 @@ class Fade
      */
     Fade(const FadeParams &p, MonitorContext &ctx, Cache *l2);
 
+    /** Non-copyable/movable: the stage pointers (at_) alias the
+     *  instance's own latch storage. */
+    Fade(const Fade &) = delete;
+    Fade &operator=(const Fade &) = delete;
+
     /** Attach the event queue and the unfiltered event queue. */
     void bind(BoundedQueue<MonEvent> *eq,
               BoundedQueue<UnfilteredEvent> *ueq);
@@ -260,6 +266,54 @@ class Fade
         bool nbDestIsMem = false;
     };
 
+    /**
+     * Stage names of the filtering unit pipeline (Fig. 5). Latches are
+     * index-latched: each stage holds an index into slots_, and a
+     * pipeline step advances an event by swapping two stage indices
+     * instead of copying the latch payload forward (the vacated stage
+     * inherits the invalid slot the destination stage held). The
+     * reference transition "dst = src; src.valid = false" is exactly an
+     * index swap whenever the destination slot is invalid — which every
+     * advance guarantees before it fires.
+     */
+    enum StageIdx : std::uint8_t
+    {
+        SEtr = 0,  ///< Event Table Read
+        SCtrl = 1, ///< Control
+        SMdr = 2,  ///< Metadata Read
+        SFilt = 3, ///< Filter
+        SMw = 4,   ///< Metadata Write (Non-Blocking mode)
+        numStages = 5,
+    };
+
+    PipeSlot &stage(StageIdx s) { return *at_[s]; }
+    const PipeSlot &stage(StageIdx s) const { return *at_[s]; }
+
+    /** Move the (valid) event in @p from into the (invalid) @p to
+     *  latch: the index-latched equivalent of "to = from; from.valid =
+     *  false". Occupancy is untouched — the event only changed stages. */
+    void
+    shift(StageIdx from, StageIdx to)
+    {
+        std::swap(at_[from], at_[to]);
+    }
+
+    /** An event entered the pipeline (a latch turned valid). */
+    void
+    latchFill(PipeSlot &s)
+    {
+        s.valid = true;
+        ++pipeOcc_;
+    }
+
+    /** An event left the pipeline (a latch turned invalid). */
+    void
+    latchDrain(PipeSlot &s)
+    {
+        s.valid = false;
+        --pipeOcc_;
+    }
+
     /** Front-end state for stack updates and high-level events. */
     enum class FrontState : std::uint8_t
     {
@@ -276,8 +330,9 @@ class Fade
     /** frontFrozen() generalized over non-Normal front states; sets
      *  @p drains when the inert front still counts a drain stall. */
     bool frontInert(bool *drains) const;
-    /** Dequeue the event-queue head, checking its shard tag. */
-    MonEvent popEvent();
+    /** Dequeue the event-queue head into @p dst, checking its shard
+     *  tag (single copy; accounting identical to pop()). */
+    void popEventInto(MonEvent &dst);
     std::uint8_t readOperandMd(const OperandRule &rule, bool isDest,
                                const MonEvent &ev) const;
     OperandMd gatherMd(const EventTableEntry &e, const MonEvent &ev) const;
@@ -304,7 +359,14 @@ class Fade
     BoundedQueue<MonEvent> *eq_ = nullptr;
     BoundedQueue<UnfilteredEvent> *ueq_ = nullptr;
 
-    PipeSlot etr_, ctrl_, mdr_, filt_, mw_;
+    /** Latch storage + per-stage slot pointers (see StageIdx). */
+    std::array<PipeSlot, numStages> slots_;
+    std::array<PipeSlot *, numStages> at_{&slots_[0], &slots_[1],
+                                          &slots_[2], &slots_[3],
+                                          &slots_[4]};
+    /** Number of valid latches (kept in lockstep with the valid flags
+     *  by latchFill/latchDrain: pipelineEmpty is one compare). */
+    unsigned pipeOcc_ = 0;
 
     FrontState front_ = FrontState::Normal;
     MonEvent pendingFront_;

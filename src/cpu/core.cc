@@ -43,7 +43,8 @@ aggressiveOooParams()
     return p;
 }
 
-Core::Core(const CoreParams &p, Cache *l1d) : params_(p), l1d_(l1d)
+Core::Core(const CoreParams &p, Cache *l1d)
+    : params_(p), l1d_(l1d), robCap_(p.robSize)
 {
     fatal_if(p.width == 0, "core width must be positive");
     fatal_if(p.robSize == 0, "ROB size must be positive");
@@ -56,7 +57,14 @@ Core::addThread(InstSource *src, CommitSink *sink)
     HwThread t;
     t.src = src;
     t.sink = sink;
+    t.runSource = src && src->supportsRuns();
+    t.freeSink = !sink || sink->alwaysCommits();
+    // Size the ROB ring once for the full (unpartitioned) capacity so
+    // it never grows on the dispatch path.
+    t.rob = RingDeque<RobEntry>(params_.robSize);
     threads_.push_back(std::move(t));
+    robCap_ = params_.robSize /
+              std::max<unsigned>(1, unsigned(threads_.size()));
     return unsigned(threads_.size() - 1);
 }
 
@@ -70,8 +78,9 @@ Core::threadStats(unsigned t) const
 unsigned
 Core::robCapacity() const
 {
-    // Static partitioning between hardware threads.
-    return params_.robSize / std::max<unsigned>(1, unsigned(threads_.size()));
+    // Static partitioning between hardware threads (cached: this sits
+    // on every commit/dispatch test).
+    return robCap_;
 }
 
 bool
@@ -82,12 +91,13 @@ Core::tryCommitOne(HwThread &t, Cycle now)
     RobEntry &head = t.rob.front();
     if (head.readyAt > now)
         return false;
-    if (t.sink && !t.sink->canCommit(head.inst)) {
+    if (t.freeSink) {
+        if (t.sink)
+            t.sink->onCommit(head.inst);
+    } else if (!t.sink->commitIfAllowed(head.inst)) {
         ++t.stats.sinkStallCycles;
         return false;
     }
-    if (t.sink)
-        t.sink->onCommit(head.inst);
     ++t.stats.retired;
     t.rob.pop_front();
     return true;
@@ -105,11 +115,39 @@ Core::tryDispatchOne(HwThread &t, Cycle now, SrcProbe probe)
     // default, Effectful, is the reference behaviour).
     if (probe == SrcProbe::None)
         return false;
+    // Run-replay fast path (sources that declared supportsRuns, i.e.
+    // the monitor handler engine): instructions come straight out of
+    // the prefetched handler run; a non-null fetchNext() certifies
+    // available() would have been true and side-effect free, so the
+    // per-instruction round-trip is elided. A null falls back to the
+    // reference available()/fetch() protocol — pops and handler builds
+    // happen at exactly the same points as before.
+    // All checks passed: the dispatch is committed, so the instruction
+    // lands straight in the claimed ROB slot (no staging copy).
+    auto dispatch = [&](const Instruction *pre) {
+        RobEntry &e = t.rob.pushSlot();
+        e.inst = pre ? *pre : t.src->fetch();
+        dispatchInst(t, now, e);
+        return true;
+    };
+    if (t.runSource) {
+        const Instruction *pre = t.src->fetchNext();
+        if (!pre) {
+            if (probe == SrcProbe::Effectful && !t.src->available())
+                return false;
+            pre = t.src->fetchNext();
+        }
+        return dispatch(pre);
+    }
     if (probe == SrcProbe::Effectful && (!t.src || !t.src->available()))
         return false;
+    return dispatch(nullptr);
+}
 
-    Instruction inst = t.src->fetch();
-
+void
+Core::dispatchInst(HwThread &t, Cycle now, RobEntry &e)
+{
+    const Instruction &inst = e.inst;
     Cycle depReady = 0;
     if (inst.numSrc >= 1)
         depReady = std::max(depReady, t.regReady[inst.src1]);
@@ -146,8 +184,7 @@ Core::tryDispatchOne(HwThread &t, Cycle now, SrcProbe probe)
     if (inst.mispredict)
         t.fetchStallUntil = readyAt + params_.mispredictPenalty;
 
-    t.rob.push_back({inst, readyAt});
-    return true;
+    e.readyAt = readyAt;
 }
 
 void
@@ -170,38 +207,41 @@ Core::tick(Cycle now)
 
     // Commit: up to `width` slots shared round-robin across threads.
     // A thread whose head is not ready (or is refused by its sink)
-    // yields its slots to the other thread.
+    // yields its slots to the other thread. (Identical slot sharing to
+    // stepCycle(); kept allocation-free for the same reason.)
     {
         unsigned budget = params_.width;
-        std::vector<bool> open(n, true);
+        std::array<bool, 2> open{true, n > 1};
         unsigned t = commitRr_;
-        while (budget > 0 && (open[0] || (n > 1 && open[1]))) {
+        while (budget > 0 && (open[0] || open[1])) {
             if (open[t]) {
                 if (tryCommitOne(threads_[t], now))
                     --budget;
                 else
                     open[t] = false;
             }
-            t = (t + 1) % n;
+            if (++t == n)
+                t = 0;
         }
-        commitRr_ = (commitRr_ + 1) % n;
+        commitRr_ = commitRr_ + 1 == n ? 0 : commitRr_ + 1;
     }
 
     // Dispatch: same slot-by-slot sharing.
     {
         unsigned budget = params_.width;
-        std::vector<bool> open(n, true);
+        std::array<bool, 2> open{true, n > 1};
         unsigned t = dispatchRr_;
-        while (budget > 0 && (open[0] || (n > 1 && open[1]))) {
+        while (budget > 0 && (open[0] || open[1])) {
             if (open[t]) {
                 if (tryDispatchOne(threads_[t], now))
                     --budget;
                 else
                     open[t] = false;
             }
-            t = (t + 1) % n;
+            if (++t == n)
+                t = 0;
         }
-        dispatchRr_ = (dispatchRr_ + 1) % n;
+        dispatchRr_ = dispatchRr_ + 1 == n ? 0 : dispatchRr_ + 1;
     }
 }
 
@@ -246,9 +286,10 @@ Core::stepCycle(Cycle now, const SrcProbe *probes)
                     open[t] = false;
                 }
             }
-            t = (t + 1) % n;
+            if (++t == n)
+                t = 0;
         }
-        commitRr_ = (commitRr_ + 1) % n;
+        commitRr_ = commitRr_ + 1 == n ? 0 : commitRr_ + 1;
     }
 
     {
@@ -264,9 +305,10 @@ Core::stepCycle(Cycle now, const SrcProbe *probes)
                     open[t] = false;
                 }
             }
-            t = (t + 1) % n;
+            if (++t == n)
+                t = 0;
         }
-        dispatchRr_ = (dispatchRr_ + 1) % n;
+        dispatchRr_ = dispatchRr_ + 1 == n ? 0 : dispatchRr_ + 1;
     }
     return activity;
 }
@@ -284,7 +326,7 @@ Core::nextActivity(Cycle now, const SrcProbe *probes) const
             return now;
         if (!t.rob.empty()) {
             const RobEntry &head = t.rob.front();
-            if (!t.sink || t.sink->canCommit(head.inst)) {
+            if (t.freeSink || t.sink->canCommit(head.inst)) {
                 if (head.readyAt <= now)
                     return now;
                 wake = std::min(wake, head.readyAt);
@@ -317,7 +359,7 @@ Core::skipCycles(Cycle from, std::uint64_t n, const SrcProbe *probes)
                 std::min<std::uint64_t>(n, t.fetchStallUntil - from);
         if (t.rob.empty() && probes[i] == SrcProbe::None)
             t.stats.idleCycles += n;
-        if (!t.rob.empty() && t.sink &&
+        if (!t.rob.empty() && !t.freeSink &&
             !t.sink->canCommit(t.rob.front().inst)) {
             // Refusal stalls count from the cycle the head is ready.
             Cycle readyFrom = std::max(t.rob.front().readyAt, from);

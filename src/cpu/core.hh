@@ -21,13 +21,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "cpu/source.hh"
 #include "isa/instruction.hh"
 #include "mem/cache.hh"
+#include "sim/ring.hh"
 #include "sim/types.hh"
 
 namespace fade
@@ -156,7 +156,14 @@ class Core
     {
         InstSource *src = nullptr;
         CommitSink *sink = nullptr;
-        std::deque<RobEntry> rob;
+        /** Source declared supportsRuns(): dispatch pulls from its
+         *  prefetched handler run via fetchNext(). */
+        bool runSource = false;
+        /** Sink declared alwaysCommits(): skip canCommit entirely. */
+        bool freeSink = false;
+        /** Reorder buffer: bounded FIFO in one contiguous ring (sized
+         *  once in addThread; never reallocates afterwards). */
+        RingDeque<RobEntry> rob;
         std::array<Cycle, numArchRegs> regReady{};
         /** In-order cores: issue time of the previously dispatched op. */
         Cycle lastIssue = 0;
@@ -169,12 +176,17 @@ class Core
     bool tryCommitOne(HwThread &t, Cycle now);
     bool tryDispatchOne(HwThread &t, Cycle now,
                         SrcProbe probe = SrcProbe::Effectful);
+    /** Timing computation for the just-claimed ROB entry @p e (its
+     *  instruction is already in place). */
+    void dispatchInst(HwThread &t, Cycle now, RobEntry &e);
 
     CoreParams params_;
     Cache *l1d_;
     std::vector<HwThread> threads_;
     unsigned commitRr_ = 0;
     unsigned dispatchRr_ = 0;
+    /** robSize / numThreads, cached off the per-cycle paths. */
+    unsigned robCap_ = 0;
     std::uint64_t cycles_ = 0;
 };
 

@@ -24,6 +24,24 @@ class InstSource
 
     /** Fetch the next instruction; call only when available(). */
     virtual Instruction fetch() = 0;
+
+    /**
+     * Run-replay fast path: when the source holds a prefetched run of
+     * instructions (a monitor handler sequence), consume and return a
+     * pointer to the next one — valid until the next call on this
+     * source. Returns nullptr, with NO side effects, when no prefetched
+     * instruction exists; the caller must then fall back to the
+     * available()/fetch() protocol. A non-null return is exactly
+     * equivalent to available() (true, side-effect free here by
+     * definition) followed by fetch() — cores use it to replay handler
+     * runs without the per-instruction virtual round-trip.
+     */
+    virtual const Instruction *fetchNext() { return nullptr; }
+
+    /** Static property: this source serves prefetched runs through
+     *  fetchNext(). Cores skip the fetchNext probe entirely for
+     *  sources that generate on demand. */
+    virtual bool supportsRuns() const { return false; }
 };
 
 /** Observes in-order retirement of one hardware thread. */
@@ -43,8 +61,29 @@ class CommitSink
         return true;
     }
 
+    /** Static property: canCommit() is unconditionally true (the
+     *  monitor handler engine never refuses retirement). Cores cache it
+     *  and skip the per-instruction canCommit round-trip. */
+    virtual bool alwaysCommits() const { return false; }
+
     /** @p inst committed (retired in order). */
     virtual void onCommit(const Instruction &inst) { (void)inst; }
+
+    /**
+     * Fused commit round-trip: canCommit() and, when allowed,
+     * onCommit() in a single virtual dispatch (the per-retirement fast
+     * path). Overrides must behave exactly like the default
+     * composition.
+     * @return false (and no effects) when the commit was refused.
+     */
+    virtual bool
+    commitIfAllowed(const Instruction &inst)
+    {
+        if (!canCommit(inst))
+            return false;
+        onCommit(inst);
+        return true;
+    }
 };
 
 } // namespace fade

@@ -17,34 +17,48 @@ Cache::Cache(const CacheParams &p, MemPort *next, unsigned memLatency)
     numSets_ = static_cast<unsigned>(blocks / p.ways);
     fatal_if(numSets_ == 0 || (numSets_ & (numSets_ - 1)),
              "cache ", p.name, ": set count must be a power of two");
-    sets_.assign(numSets_, std::vector<Line>(p.ways));
+    // Both divisors are power-of-two-checked above: precompute shift
+    // widths so the per-access index/tag math never divides.
+    blockShift_ = log2of(p.blockBytes);
+    setShift_ = log2of(numSets_);
+    lines_.assign(std::size_t(numSets_) * p.ways, Line{});
+}
+
+unsigned
+Cache::log2of(std::uint64_t powerOfTwo)
+{
+    unsigned s = 0;
+    while ((std::uint64_t(1) << s) < powerOfTwo)
+        ++s;
+    return s;
 }
 
 unsigned
 Cache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / params_.blockBytes) &
-                                 (numSets_ - 1));
+    return static_cast<unsigned>((addr >> blockShift_) & (numSets_ - 1));
 }
 
 std::uint64_t
 Cache::tagOf(Addr addr) const
 {
-    return (addr / params_.blockBytes) / numSets_;
+    return addr >> (blockShift_ + setShift_);
 }
 
 bool
-Cache::accessSet(std::vector<Line> &set, std::uint64_t tag,
+Cache::accessSet(Line *set, unsigned ways, std::uint64_t tag,
                  std::uint64_t lruClock)
 {
-    for (auto &line : set) {
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = set[w];
         if (line.valid && line.tag == tag) {
             line.lru = lruClock;
             return true;
         }
     }
     Line *victim = &set[0];
-    for (auto &line : set) {
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = set[w];
         if (!line.valid) {
             victim = &line;
             break;
@@ -63,7 +77,8 @@ Cache::access(Addr addr, bool write)
 {
     addr ^= addrSalt_;
     ++lruClock_;
-    if (accessSet(sets_[setIndex(addr)], tagOf(addr), lruClock_)) {
+    if (accessSet(setLines(setIndex(addr)), params_.ways, tagOf(addr),
+                  lruClock_)) {
         ++hits_;
         return params_.latency;
     }
@@ -76,10 +91,10 @@ bool
 Cache::contains(Addr addr) const
 {
     addr ^= addrSalt_;
-    const auto &set = sets_[setIndex(addr)];
+    const Line *set = setLines(setIndex(addr));
     std::uint64_t tag = tagOf(addr);
-    for (const auto &line : set)
-        if (line.valid && line.tag == tag)
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (set[w].valid && set[w].tag == tag)
             return true;
     return false;
 }
@@ -87,9 +102,8 @@ Cache::contains(Addr addr) const
 void
 Cache::flush()
 {
-    for (auto &set : sets_)
-        for (auto &line : set)
-            line.valid = false;
+    for (auto &line : lines_)
+        line.valid = false;
 }
 
 void
@@ -97,7 +111,8 @@ Cache::touch(Addr addr)
 {
     addr ^= addrSalt_;
     ++lruClock_;
-    accessSet(sets_[setIndex(addr)], tagOf(addr), lruClock_);
+    accessSet(setLines(setIndex(addr)), params_.ways, tagOf(addr),
+              lruClock_);
 }
 
 SliceL2View::SliceL2View(Cache &base) : base_(base)
@@ -121,11 +136,16 @@ SliceL2View::access(Addr addr, bool write)
     Addr a = addr ^ base_.addrSalt_;
     unsigned si = base_.setIndex(a);
     auto it = cow_.find(si);
-    if (it == cow_.end())
-        it = cow_.emplace(si, base_.sets_[si]).first;
+    if (it == cow_.end()) {
+        const Cache::Line *src = base_.setLines(si);
+        it = cow_.emplace(si, std::vector<Cache::Line>(
+                                  src, src + base_.params_.ways))
+                 .first;
+    }
     ++lruClock_;
 
-    if (Cache::accessSet(it->second, base_.tagOf(a), lruClock_)) {
+    if (Cache::accessSet(it->second.data(), base_.params_.ways,
+                         base_.tagOf(a), lruClock_)) {
         ++hits_;
         return base_.params_.latency;
     }

@@ -134,6 +134,7 @@ class Cache : public MemPort
         std::uint64_t lru = 0;
     };
 
+    static unsigned log2of(std::uint64_t powerOfTwo);
     unsigned setIndex(Addr addr) const;
     std::uint64_t tagOf(Addr addr) const;
 
@@ -141,18 +142,29 @@ class Cache : public MemPort
      * The single lookup/replacement policy implementation, shared by
      * access(), touch() and SliceL2View::access so the three paths
      * cannot drift: LRU-bump on hit, else fill the first invalid way
-     * or evict the LRU way.
+     * or evict the LRU way. @p set points at @p ways contiguous lines.
      * @return true on hit.
      */
-    static bool accessSet(std::vector<Line> &set, std::uint64_t tag,
+    static bool accessSet(Line *set, unsigned ways, std::uint64_t tag,
                           std::uint64_t lruClock);
+
+    /** First line of a set (sets live back-to-back in one flat array,
+     *  so an access touches one contiguous stretch of lines). */
+    Line *setLines(unsigned setIdx) { return &lines_[setIdx * params_.ways]; }
+    const Line *
+    setLines(unsigned setIdx) const
+    {
+        return &lines_[setIdx * params_.ways];
+    }
 
     CacheParams params_;
     MemPort *next_;
     unsigned memLatency_;
     std::uint64_t addrSalt_ = 0;
     unsigned numSets_;
-    std::vector<std::vector<Line>> sets_;
+    unsigned blockShift_ = 0; ///< log2(blockBytes)
+    unsigned setShift_ = 0;   ///< log2(numSets_)
+    std::vector<Line> lines_; ///< numSets_ * ways, set-major
     std::uint64_t lruClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -12,9 +12,11 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/flatset.hh"
 #include "sim/types.hh"
 
 namespace fade
@@ -33,7 +35,10 @@ mdAddrOf(Addr appAddr)
 /**
  * Page-granular sparse byte store. Unmapped bytes read as the
  * configurable default value (monitors set this to their "unallocated" /
- * "untainted" encoding).
+ * "untainted" encoding). The page directory is a flat open-addressing
+ * map (one probe per lookup, no node allocations), and bulk writes run
+ * page-span-at-a-time: fill() memsets whole-page interiors instead of
+ * probing the directory byte by byte.
  */
 class ShadowMemory
 {
@@ -48,12 +53,12 @@ class ShadowMemory
         Addr base = pageAlign(mdAddr);
         if (base == lastBase_ && lastPage_)
             return (*lastPage_)[mdAddr & (pageSize - 1)];
-        auto it = pages_.find(base);
-        if (it == pages_.end())
+        const PagePtr *slot = pages_.find(base);
+        if (!slot)
             return default_;
         lastBase_ = base;
-        lastPage_ = it->second.get();
-        return (*it->second)[mdAddr & (pageSize - 1)];
+        lastPage_ = slot->get();
+        return (*lastPage_)[mdAddr & (pageSize - 1)];
     }
 
     void
@@ -62,12 +67,22 @@ class ShadowMemory
         page(mdAddr)[mdAddr & (pageSize - 1)] = v;
     }
 
-    /** Set a contiguous metadata byte range to a value. */
+    /** Set a contiguous metadata byte range to a value, one page span
+     *  at a time (bulk metadata writes are the monitors' hottest
+     *  shadow operation: malloc/free clears, stack-frame updates). */
     void
     fill(Addr mdAddr, std::uint64_t len, std::uint8_t v)
     {
-        for (std::uint64_t i = 0; i < len; ++i)
-            write(mdAddr + i, v);
+        while (len > 0) {
+            Page &p = page(mdAddr);
+            std::uint64_t off = mdAddr & (pageSize - 1);
+            std::uint64_t span = pageSize - off;
+            if (span > len)
+                span = len;
+            std::memset(p.data() + off, v, std::size_t(span));
+            mdAddr += span;
+            len -= span;
+        }
     }
 
     /** Convenience: read the shadow byte of an application word. */
@@ -96,9 +111,19 @@ class ShadowMemory
     std::uint8_t defaultValue() const { return default_; }
     std::size_t mappedPages() const { return pages_.size(); }
 
+    /** Pages parked in the reuse pool (diagnostics / tests). */
+    std::size_t pooledPages() const { return pool_.size(); }
+
     void
     clear()
     {
+        // Unmap everything but keep the page storage: repeated
+        // warmup/measure iterations and system re-inits re-fault the
+        // same footprint, so recycled pages skip the allocator (and the
+        // kernel fault path) entirely.
+        pages_.forEach([this](Addr, PagePtr &p) {
+            pool_.push_back(std::move(p));
+        });
         pages_.clear();
         lastBase_ = ~Addr(0);
         lastPage_ = nullptr;
@@ -106,6 +131,7 @@ class ShadowMemory
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;
+    using PagePtr = std::unique_ptr<Page>;
 
     Page &
     page(Addr mdAddr)
@@ -113,9 +139,14 @@ class ShadowMemory
         Addr base = pageAlign(mdAddr);
         if (base == lastBase_ && lastPage_)
             return *lastPage_;
-        auto &slot = pages_[base];
+        PagePtr &slot = pages_[base];
         if (!slot) {
-            slot = std::make_unique<Page>();
+            if (!pool_.empty()) {
+                slot = std::move(pool_.back());
+                pool_.pop_back();
+            } else {
+                slot = std::make_unique<Page>();
+            }
             slot->fill(default_);
         }
         lastBase_ = base;
@@ -124,7 +155,9 @@ class ShadowMemory
     }
 
     std::uint8_t default_;
-    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    AddrMap<PagePtr> pages_;
+    /** Recycled pages (see clear()). */
+    std::vector<PagePtr> pool_;
     /** Memo of the most recently touched page (purely an access
      *  accelerator: no functional state lives here). */
     mutable Addr lastBase_ = ~Addr(0);

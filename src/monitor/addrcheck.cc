@@ -158,4 +158,14 @@ AddrCheck::classifyHandler(const UnfilteredEvent &u,
     return HandlerClass::CheckOnly;
 }
 
+HandlerClass
+AddrCheck::prepareHandler(const UnfilteredEvent &u,
+                          const MonitorContext &ctx,
+                          std::vector<Instruction> &out) const
+{
+    // Qualified calls: devirtualized single-dispatch replay path.
+    AddrCheck::buildHandlerSeq(u, ctx, out);
+    return AddrCheck::classifyHandler(u, ctx);
+}
+
 } // namespace fade

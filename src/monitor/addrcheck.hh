@@ -35,6 +35,9 @@ class AddrCheck : public Monitor
                          std::vector<Instruction> &out) const override;
     HandlerClass classifyHandler(const UnfilteredEvent &u,
                                  const MonitorContext &ctx) const override;
+    HandlerClass prepareHandler(const UnfilteredEvent &u,
+                                const MonitorContext &ctx,
+                                std::vector<Instruction> &out) const override;
 };
 
 } // namespace fade

@@ -253,4 +253,14 @@ AtomCheck::classifyHandler(const UnfilteredEvent &u,
     return same ? HandlerClass::Update : HandlerClass::CheckOnly;
 }
 
+HandlerClass
+AtomCheck::prepareHandler(const UnfilteredEvent &u,
+                          const MonitorContext &ctx,
+                          std::vector<Instruction> &out) const
+{
+    // Qualified calls: devirtualized single-dispatch replay path.
+    AtomCheck::buildHandlerSeq(u, ctx, out);
+    return AtomCheck::classifyHandler(u, ctx);
+}
+
 } // namespace fade

@@ -16,9 +16,9 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 
 #include "monitor/monitor.hh"
+#include "sim/flatset.hh"
 
 namespace fade
 {
@@ -47,6 +47,9 @@ class AtomCheck : public Monitor
                          std::vector<Instruction> &out) const override;
     HandlerClass classifyHandler(const UnfilteredEvent &u,
                                  const MonitorContext &ctx) const override;
+    HandlerClass prepareHandler(const UnfilteredEvent &u,
+                                const MonitorContext &ctx,
+                                std::vector<Instruction> &out) const override;
     void onThreadSwitch(ThreadId tid, InvRegFile *inv) override;
 
     /**
@@ -68,7 +71,9 @@ class AtomCheck : public Monitor
         std::array<std::uint8_t, maxThreads> lastType{};
     };
 
-    std::unordered_map<Addr, LocState> locs_;
+    /** Per-word last-access-type table (flat: probed on every
+     *  unfiltered shared access). */
+    AddrMap<LocState> locs_;
 };
 
 } // namespace fade

@@ -307,4 +307,14 @@ MemCheck::classifyHandler(const UnfilteredEvent &u,
     return HandlerClass::Update;
 }
 
+HandlerClass
+MemCheck::prepareHandler(const UnfilteredEvent &u,
+                         const MonitorContext &ctx,
+                         std::vector<Instruction> &out) const
+{
+    // Qualified calls: devirtualized single-dispatch replay path.
+    MemCheck::buildHandlerSeq(u, ctx, out);
+    return MemCheck::classifyHandler(u, ctx);
+}
+
 } // namespace fade

@@ -37,6 +37,9 @@ class MemCheck : public Monitor
                          std::vector<Instruction> &out) const override;
     HandlerClass classifyHandler(const UnfilteredEvent &u,
                                  const MonitorContext &ctx) const override;
+    HandlerClass prepareHandler(const UnfilteredEvent &u,
+                                const MonitorContext &ctx,
+                                std::vector<Instruction> &out) const override;
 };
 
 } // namespace fade

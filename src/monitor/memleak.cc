@@ -116,16 +116,16 @@ MemLeak::programFade(EventTable &table, InvRegFile &inv) const
 std::uint32_t
 MemLeak::ctxOfSlot(Addr appAddr) const
 {
-    auto it = slotCtx_.find(appAddr / wordSize);
-    return it == slotCtx_.end() ? 0 : it->second;
+    const std::uint32_t *p = slotCtx_.find(appAddr / wordSize);
+    return p ? *p : 0;
 }
 
 void
 MemLeak::setSlotCtx(Addr appAddr, std::uint32_t id)
 {
     Addr w = appAddr / wordSize;
-    auto it = slotCtx_.find(w);
-    std::uint32_t old = it == slotCtx_.end() ? 0 : it->second;
+    const std::uint32_t *p = slotCtx_.find(w);
+    std::uint32_t old = p ? *p : 0;
     if (old == id)
         return;
     if (id == 0)
@@ -244,9 +244,9 @@ MemLeak::handleEvent(const UnfilteredEvent &u, MonitorContext &ctx)
         break;
       }
       case EventKind::Free: {
-        auto it = baseToCtx_.find(ev.appAddr);
-        if (it != baseToCtx_.end()) {
-            AllocCtx &c = ctxs_[it->second - 1];
+        const std::uint32_t *ctxId = baseToCtx_.find(ev.appAddr);
+        if (ctxId) {
+            AllocCtx &c = ctxs_[*ctxId - 1];
             c.freed = true;
             // References held inside the freed block die with it.
             for (Addr a = c.base; a < c.base + c.len; a += wordSize)
@@ -364,6 +364,16 @@ MemLeak::finish()
 {
     // Allocations still referenced at exit are "still reachable", not
     // leaks; nothing further to report under reference counting.
+}
+
+HandlerClass
+MemLeak::prepareHandler(const UnfilteredEvent &u,
+                        const MonitorContext &ctx,
+                        std::vector<Instruction> &out) const
+{
+    // Qualified calls: devirtualized single-dispatch replay path.
+    MemLeak::buildHandlerSeq(u, ctx, out);
+    return MemLeak::classifyHandler(u, ctx);
 }
 
 } // namespace fade

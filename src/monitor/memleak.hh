@@ -14,10 +14,10 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "monitor/monitor.hh"
+#include "sim/flatset.hh"
 
 namespace fade
 {
@@ -51,6 +51,9 @@ class MemLeak : public Monitor
                          std::vector<Instruction> &out) const override;
     HandlerClass classifyHandler(const UnfilteredEvent &u,
                                  const MonitorContext &ctx) const override;
+    HandlerClass prepareHandler(const UnfilteredEvent &u,
+                                const MonitorContext &ctx,
+                                std::vector<Instruction> &out) const override;
     void finish() override;
 
     /** Allocation contexts created so far (inspection / tests). */
@@ -65,8 +68,9 @@ class MemLeak : public Monitor
     void decRef(std::uint32_t id, const MonEvent &ev);
 
     std::vector<AllocCtx> ctxs_; ///< index = id - 1
-    std::unordered_map<Addr, std::uint32_t> slotCtx_;
-    std::unordered_map<Addr, std::uint32_t> baseToCtx_;
+    /** Word -> owning allocation context (flat: probed per event). */
+    AddrMap<std::uint32_t> slotCtx_;
+    AddrMap<std::uint32_t> baseToCtx_;
     std::array<std::array<std::uint32_t, numArchRegs>, maxThreads>
         regCtx_{};
     std::uint64_t leaks_ = 0;

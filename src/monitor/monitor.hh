@@ -110,6 +110,23 @@ class Monitor
                                          const MonitorContext &ctx) const;
 
     /**
+     * Batched replay entry point: start the software handler for @p u
+     * by appending its dynamic instruction sequence to @p out and
+     * returning its class — one virtual call per handler where the
+     * replay engine previously made separate buildHandlerSeq and
+     * classifyHandler round-trips. Subclasses override with qualified
+     * (devirtualized) calls to their own implementations; results must
+     * equal the two-call composition below.
+     */
+    virtual HandlerClass
+    prepareHandler(const UnfilteredEvent &u, const MonitorContext &ctx,
+                   std::vector<Instruction> &out) const
+    {
+        buildHandlerSeq(u, ctx, out);
+        return classifyHandler(u, ctx);
+    }
+
+    /**
      * A software thread switch occurred (time-sliced multithreaded
      * workloads). AtomCheck updates the current-thread INV register.
      */

@@ -17,27 +17,28 @@ MonitorProcess::MonitorProcess(Monitor &m, MonitorContext &ctx, Fade *fade,
 bool
 MonitorProcess::startNextHandler()
 {
+    // Empty-input probe first: this is the per-cycle no-work path of an
+    // idle monitor thread, and must not construct an event for nothing.
+    if (ueq_ ? ueq_->empty() : eq_->empty())
+        return false;
+
     UnfilteredEvent u;
     if (ueq_) {
-        if (ueq_->empty())
-            return false;
         u = ueq_->pop();
     } else {
-        if (eq_->empty())
-            return false;
         u.ev = eq_->pop();
         u.hwChecked = false;
     }
 
     seq_.clear();
     fetchIdx_ = 0;
-    mon_.buildHandlerSeq(u, ctx_, seq_);
-    panic_if(seq_.empty(), "monitor handler sequence must be non-empty");
-
     PendingHandler p;
     p.u = u;
+    // Single dispatch starts the handler: sequence build +
+    // classification in one virtual call (batched replay path).
+    p.cls = mon_.prepareHandler(u, ctx_, seq_);
+    panic_if(seq_.empty(), "monitor handler sequence must be non-empty");
     p.remaining = seq_.size();
-    p.cls = mon_.classifyHandler(u, ctx_);
     pending_.push_back(std::move(p));
     return true;
 }

@@ -18,7 +18,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "core/fade.hh"
@@ -26,6 +25,7 @@
 #include "isa/event.hh"
 #include "monitor/monitor.hh"
 #include "sim/queue.hh"
+#include "sim/ring.hh"
 
 namespace fade
 {
@@ -62,6 +62,18 @@ class MonitorProcess : public InstSource, public CommitSink
 
     bool available() override;
     Instruction fetch() override;
+    /** Run replay: hand out the current handler sequence in place —
+     *  cores consume whole handler runs without the per-instruction
+     *  available()/fetch() virtual round-trip (cpu/source.hh). */
+    const Instruction *
+    fetchNext() override
+    {
+        if (fetchIdx_ >= seq_.size())
+            return nullptr;
+        return &seq_[fetchIdx_++];
+    }
+    bool supportsRuns() const override { return true; }
+    bool alwaysCommits() const override { return true; }
     void onCommit(const Instruction &inst) override;
 
     /** No handler in flight and the input queue is empty. */
@@ -100,7 +112,7 @@ class MonitorProcess : public InstSource, public CommitSink
     std::vector<Instruction> seq_;
     std::size_t fetchIdx_ = 0;
     /** Handlers whose instructions are (partly) in flight. */
-    std::deque<PendingHandler> pending_;
+    RingDeque<PendingHandler> pending_;
 
     ThreadId lastTid_ = 0;
     bool seenTid_ = false;

@@ -240,4 +240,14 @@ TaintCheck::classifyHandler(const UnfilteredEvent &u,
     return HandlerClass::Update;
 }
 
+HandlerClass
+TaintCheck::prepareHandler(const UnfilteredEvent &u,
+                           const MonitorContext &ctx,
+                           std::vector<Instruction> &out) const
+{
+    // Qualified calls: devirtualized single-dispatch replay path.
+    TaintCheck::buildHandlerSeq(u, ctx, out);
+    return TaintCheck::classifyHandler(u, ctx);
+}
+
 } // namespace fade

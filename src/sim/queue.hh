@@ -62,17 +62,35 @@ class BoundedQueue
     bool
     push(const T &v)
     {
+        T *slot = pushSlot();
+        if (!slot)
+            return false;
+        *slot = v;
+        return true;
+    }
+
+    /**
+     * Claim the next back slot for in-place construction — the single
+     * accounting path push() delegates to (rejection count when full,
+     * occupancy sample on acceptance). The caller owns filling the
+     * slot before the entry is observed.
+     * @return the slot, or nullptr (and one counted rejection) when
+     *         full.
+     */
+    T *
+    pushSlot()
+    {
         if (full()) {
             ++rejects_;
-            return false;
+            return nullptr;
         }
         if (count_ == buf_.size())
             grow();
-        buf_[wrap(head_ + count_)] = v;
+        T *slot = &buf_[wrap(head_ + count_)];
         ++count_;
         ++pushes_;
         occupancy_.sample(count_);
-        return true;
+        return slot;
     }
 
     /**

@@ -98,6 +98,39 @@ class Rng
     std::uint64_t inc_;
 };
 
+/**
+ * Precompiled Bernoulli trial: the threshold of Rng::chance(p) hoisted
+ * out of the per-draw path, so a draw is one PCG step and one integer
+ * compare instead of an int->double conversion, multiply, and FP
+ * compare per call.
+ *
+ * Exactness: uniform() returns next() * 2^-32, which is an exact
+ * double (a 32-bit integer scaled by a power of two). Hence
+ * uniform() < p  <=>  next() < p * 2^32  <=>  next() < ceil(p * 2^32)
+ * for the integer next(), and draw() consumes exactly one next() —
+ * the same draw count and the same verdict as chance(p), bit for bit.
+ */
+class Bernoulli
+{
+  public:
+    Bernoulli() = default;
+
+    explicit Bernoulli(double p)
+    {
+        if (p <= 0.0)
+            thr_ = 0;
+        else if (p >= 1.0)
+            thr_ = std::uint64_t(1) << 32;
+        else
+            thr_ = std::uint64_t(std::ceil(p * 4294967296.0));
+    }
+
+    bool draw(Rng &rng) const { return rng.next() < thr_; }
+
+  private:
+    std::uint64_t thr_ = 0;
+};
+
 } // namespace fade
 
 #endif // FADE_SIM_RANDOM_HH

@@ -104,18 +104,15 @@ class Log2Histogram
         max_ = std::max(max_, v);
     }
 
-    /** Bucket index for a value. */
+    /** Bucket index for a value: 0 for 0, else floor(log2(v)) + 1
+     *  (single count-leading-zeros; same buckets as the shift loop it
+     *  replaced — this sits on every queue push). */
     static unsigned
     bucketOf(std::uint64_t v)
     {
         if (v == 0)
             return 0;
-        unsigned b = 1;
-        while (v > 1) {
-            v >>= 1;
-            ++b;
-        }
-        return b;
+        return 64 - unsigned(__builtin_clzll(v));
     }
 
     /** Upper bound (inclusive) of bucket b: 0, 1, 2, 4, 8, ... */

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Paged word-membership bitmap. The trace generator mirrors which
+ * application words currently hold pointer / tainted values; the access
+ * mix is per-instruction membership tests and single-word updates,
+ * punctuated by bulk range erases on every free and function return.
+ * A hash set — even a flat one (sim/flatset.hh) — pays per-word probes
+ * on exactly those range erases, and they dominated the generator
+ * profile. WordSet stores one bit per application word in 4KB pages
+ * (each covering 128KB of address space) behind a flat page directory,
+ * so membership is a page probe plus a bit test, and a range erase
+ * masks partial edge words and zero-fills whole-page interiors.
+ *
+ * Determinism contract: order-independent operations only (the visit
+ * order of forEach is address-ordered within a page but page order is
+ * unspecified; tests must not depend on it).
+ */
+
+#ifndef FADE_SIM_WORDSET_HH
+#define FADE_SIM_WORDSET_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "sim/flatset.hh"
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** Set of word-aligned application addresses, one bit per word. */
+class WordSet
+{
+  public:
+    bool
+    contains(Addr a) const
+    {
+        const Page *p = pageOf(a);
+        if (!p)
+            return false;
+        std::uint64_t bit = bitIndex(a);
+        return ((*p)[bit >> 6] >> (bit & 63)) & 1;
+    }
+
+    std::size_t count(Addr a) const { return contains(a) ? 1 : 0; }
+
+    void
+    insert(Addr a)
+    {
+        Page &p = page(a);
+        std::uint64_t bit = bitIndex(a);
+        std::uint64_t &w = p[bit >> 6];
+        std::uint64_t m = std::uint64_t(1) << (bit & 63);
+        size_ += !(w & m);
+        w |= m;
+    }
+
+    void
+    erase(Addr a)
+    {
+        Page *p = pageOf(a);
+        if (!p)
+            return;
+        std::uint64_t bit = bitIndex(a);
+        std::uint64_t &w = (*p)[bit >> 6];
+        std::uint64_t m = std::uint64_t(1) << (bit & 63);
+        size_ -= (w & m) != 0;
+        w &= ~m;
+    }
+
+    /**
+     * Remove every word in the byte range [@p lo, @p hi): mask the
+     * partial 64-word edge groups and zero whole groups in between.
+     * Pages the range never touched stay unmapped (no allocation).
+     */
+    void
+    eraseRange(Addr lo, Addr hi)
+    {
+        if (hi <= lo || size_ == 0)
+            return;
+        std::uint64_t first = (lo / wordSize); // inclusive word index
+        std::uint64_t last = (hi - 1) / wordSize; // inclusive
+        while (first <= last) {
+            Addr addr = first * wordSize;
+            Page *p = pageOf(addr);
+            // Word index one past this page's coverage.
+            std::uint64_t pageEnd =
+                (first / wordsPerPage + 1) * wordsPerPage;
+            std::uint64_t stop = last + 1 < pageEnd ? last + 1 : pageEnd;
+            if (p)
+                clearSpan(*p, first % wordsPerPage,
+                          stop - 1 - (first / wordsPerPage) *
+                                         wordsPerPage);
+            first = stop;
+        }
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        pages_.forEach([](Addr, PagePtr &p) {
+            if (p)
+                p->fill(0);
+        });
+        size_ = 0;
+    }
+
+    /** Visit every member address (tests / order-invariant checks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        pages_.forEach([&](Addr base, const PagePtr &p) {
+            if (!p)
+                return;
+            for (std::size_t g = 0; g < p->size(); ++g) {
+                std::uint64_t w = (*p)[g];
+                while (w) {
+                    unsigned b = unsigned(__builtin_ctzll(w));
+                    w &= w - 1;
+                    fn(base + (g * 64 + b) * wordSize);
+                }
+            }
+        });
+    }
+
+  private:
+    /** 4KB of bits = 32768 words = 128KB of application bytes. */
+    static constexpr std::uint64_t wordsPerPage = pageSize * 8;
+    static constexpr Addr spanBytes = wordsPerPage * wordSize;
+
+    using Page = std::array<std::uint64_t, pageSize / 8>;
+    using PagePtr = std::unique_ptr<Page>;
+
+    static Addr pageBase(Addr a) { return a & ~(spanBytes - 1); }
+    static std::uint64_t
+    bitIndex(Addr a)
+    {
+        return (a / wordSize) % wordsPerPage;
+    }
+
+    const Page *
+    pageOf(Addr a) const
+    {
+        Addr base = pageBase(a);
+        if (base == lastBase_ && lastPage_)
+            return lastPage_;
+        const PagePtr *slot = pages_.find(base);
+        if (!slot)
+            return nullptr;
+        lastBase_ = base;
+        lastPage_ = slot->get();
+        return lastPage_;
+    }
+
+    Page *
+    pageOf(Addr a)
+    {
+        return const_cast<Page *>(
+            static_cast<const WordSet *>(this)->pageOf(a));
+    }
+
+    Page &
+    page(Addr a)
+    {
+        Addr base = pageBase(a);
+        // The memo never aliases anything actually const: all pages are
+        // owned mutably by pages_.
+        if (base == lastBase_ && lastPage_)
+            return *const_cast<Page *>(lastPage_);
+        PagePtr &slot = pages_[base];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        lastBase_ = base;
+        lastPage_ = slot.get();
+        return *slot;
+    }
+
+    /** Clear bits [firstWord, lastWord] (page-local word indices),
+     *  keeping size_ exact via popcounts of what is dropped. */
+    void
+    clearSpan(Page &p, std::uint64_t firstWord, std::uint64_t lastWord)
+    {
+        std::uint64_t g0 = firstWord >> 6;
+        std::uint64_t g1 = lastWord >> 6;
+        std::uint64_t headMask = ~std::uint64_t(0) << (firstWord & 63);
+        std::uint64_t tailMask =
+            ~std::uint64_t(0) >> (63 - (lastWord & 63));
+        if (g0 == g1) {
+            std::uint64_t m = headMask & tailMask;
+            size_ -= std::size_t(__builtin_popcountll(p[g0] & m));
+            p[g0] &= ~m;
+            return;
+        }
+        size_ -= std::size_t(__builtin_popcountll(p[g0] & headMask));
+        p[g0] &= ~headMask;
+        for (std::uint64_t g = g0 + 1; g < g1; ++g) {
+            size_ -= std::size_t(__builtin_popcountll(p[g]));
+            p[g] = 0;
+        }
+        size_ -= std::size_t(__builtin_popcountll(p[g1] & tailMask));
+        p[g1] &= ~tailMask;
+    }
+
+    AddrMap<PagePtr> pages_;
+    std::size_t size_ = 0;
+    /** Most-recently-touched page memo (access accelerator only). */
+    mutable Addr lastBase_ = ~Addr(0);
+    mutable const Page *lastPage_ = nullptr;
+};
+
+} // namespace fade
+
+#endif // FADE_SIM_WORDSET_HH

@@ -53,33 +53,25 @@ class EventProducer : public CommitSink
     onCommit(const Instruction &inst) override
     {
         ++retired_;
-        if (!mon_ || !eq_)
-            return;
+        if (mon_ && eq_)
+            produce(inst, mon_->monitored(inst));
+    }
 
-        if (seenTid_ && inst.tid != lastTid_) {
-            // Context switch: the monitor updates its current-thread
-            // invariant register before the new thread's events flow.
-            mon_->onThreadSwitch(inst.tid,
-                                 fade_ ? &fade_->invRf() : nullptr);
+    /** Fused fast path: one virtual dispatch and one monitored() query
+     *  per retirement instead of the canCommit/onCommit round-trip. */
+    bool
+    commitIfAllowed(const Instruction &inst) override
+    {
+        if (!mon_ || !eq_) {
+            ++retired_;
+            return true;
         }
-        lastTid_ = inst.tid;
-        seenTid_ = true;
-
-        if (!mon_->monitored(inst))
-            return;
-
-        MonEvent ev;
-        if (inst.isStackUpdate())
-            ev = makeStackEvent(inst, seq_);
-        else if (inst.cls == InstClass::HighLevel)
-            ev = makeHighLevelEvent(inst, seq_);
-        else
-            ev = makeInstEvent(inst, seq_);
-        ev.shard = shard_;
-        ++seq_;
-        bool ok = eq_->push(ev);
-        panic_if(!ok, "event queue push after canCommit check");
-        ++produced_;
+        bool monitored = mon_->monitored(inst);
+        if (monitored && (paused_ || eq_->full()))
+            return false;
+        ++retired_;
+        produce(inst, monitored);
+        return true;
     }
 
     std::uint64_t retired() const { return retired_; }
@@ -93,6 +85,38 @@ class EventProducer : public CommitSink
     }
 
   private:
+    /** Thread-switch tracking + event emission for one retirement
+     *  (the monitored verdict is already decided). */
+    void
+    produce(const Instruction &inst, bool monitored)
+    {
+        if (seenTid_ && inst.tid != lastTid_) {
+            // Context switch: the monitor updates its current-thread
+            // invariant register before the new thread's events flow.
+            mon_->onThreadSwitch(inst.tid,
+                                 fade_ ? &fade_->invRf() : nullptr);
+        }
+        lastTid_ = inst.tid;
+        seenTid_ = true;
+
+        if (!monitored)
+            return;
+
+        // Build the event in place in the queue slot (accounting is
+        // identical to push(); see BoundedQueue::pushSlot).
+        MonEvent *slot = eq_->pushSlot();
+        panic_if(!slot, "event queue push after canCommit check");
+        if (inst.isStackUpdate())
+            *slot = makeStackEvent(inst, seq_);
+        else if (inst.cls == InstClass::HighLevel)
+            *slot = makeHighLevelEvent(inst, seq_);
+        else
+            *slot = makeInstEvent(inst, seq_);
+        slot->shard = shard_;
+        ++seq_;
+        ++produced_;
+    }
+
     Monitor *mon_;
     BoundedQueue<MonEvent> *eq_;
     Fade *fade_;

@@ -18,6 +18,18 @@ constexpr Addr threadStackSpan = 0x400000;
 constexpr std::size_t slotRingCap = 256;
 
 void
+ringPush(TraceGenerator::SlotRing &ring, Addr a)
+{
+    ring.sig |= TraceGenerator::SlotRing::granuleBit(a);
+    if (ring.v.size() < slotRingCap) {
+        ring.v.push_back(a);
+    } else {
+        ring.v[a / wordSize % slotRingCap] = a;
+    }
+}
+
+/** recentShared variant (plain vector: never range-pruned). */
+void
 ringPush(std::vector<Addr> &ring, Addr a)
 {
     if (ring.size() < slotRingCap) {
@@ -29,16 +41,23 @@ ringPush(std::vector<Addr> &ring, Addr a)
 
 /** Drop ring entries inside [base, base+len): the region died. */
 void
-ringPrune(std::vector<Addr> &ring, Addr base, std::uint64_t len)
+ringPrune(TraceGenerator::SlotRing &ring, Addr base, std::uint64_t len)
 {
-    for (std::size_t k = 0; k < ring.size();) {
-        if (ring[k] >= base && ring[k] < base + len) {
-            ring[k] = ring.back();
-            ring.pop_back();
+    // Signature fast-out: no granule of the dead range was ever
+    // pushed, so no entry can match (see SlotRing).
+    if ((ring.sig & TraceGenerator::SlotRing::rangeMask(base, len)) == 0)
+        return;
+    std::uint64_t survivors = 0;
+    for (std::size_t k = 0; k < ring.v.size();) {
+        if (ring.v[k] >= base && ring.v[k] < base + len) {
+            ring.v[k] = ring.v.back();
+            ring.v.pop_back();
         } else {
+            survivors |= TraceGenerator::SlotRing::granuleBit(ring.v[k]);
             ++k;
         }
     }
+    ring.sig = survivors;
 }
 
 } // namespace
@@ -46,10 +65,11 @@ ringPrune(std::vector<Addr> &ring, Addr base, std::uint64_t len)
 void
 TraceGenerator::eraseWordRange(Addr base, std::uint64_t lenBytes)
 {
-    for (Addr a = base & ~Addr(3); a < base + lenBytes; a += wordSize) {
-        ptrWords_.erase(a);
-        taintWords_.erase(a);
-    }
+    // Page-span bitmap clear: large frees and deep stack pops mask two
+    // edge groups and zero-fill the interior instead of probing
+    // word-by-word.
+    ptrWords_.eraseRange(wordKey(base), base + lenBytes);
+    taintWords_.eraseRange(wordKey(base), base + lenBytes);
 }
 
 TraceGenerator::TraceGenerator(const BenchProfile &profile)
@@ -57,6 +77,87 @@ TraceGenerator::TraceGenerator(const BenchProfile &profile)
 {
     fatal_if(profile_.numThreads == 0 || profile_.numThreads > maxThreads,
              "profile thread count out of range");
+
+    // Hoist every per-instruction Bernoulli threshold out of the fetch
+    // loop (bit-identical to rng_.chance of the same fractions).
+    draws_.call = Bernoulli(profile_.callRate * 2.0);
+    draws_.malloc_ = Bernoulli(profile_.mallocRate);
+    draws_.taintSrc = Bernoulli(profile_.taintSourceRate);
+    draws_.taintOp = Bernoulli(profile_.taintOpFrac);
+    draws_.ptrOp = Bernoulli(profile_.ptrOpFrac);
+    draws_.seq = Bernoulli(profile_.seqFrac);
+    draws_.hot = Bernoulli(profile_.hotFrac);
+    draws_.fresh = Bernoulli(profile_.freshSlotFrac);
+    draws_.aluImm = Bernoulli(profile_.aluImmFrac);
+    draws_.prop = Bernoulli(profile_.propAluFrac);
+    draws_.misp = Bernoulli(profile_.mispredictRate);
+    draws_.mispHalf = Bernoulli(profile_.mispredictRate * 0.5);
+    draws_.misp03 = Bernoulli(profile_.mispredictRate * 0.3);
+    draws_.highPhase = Bernoulli(profile_.highPhaseFrac);
+    draws_.free_ = Bernoulli(profile_.freeFrac);
+    draws_.ptrAlloc = Bernoulli(profile_.ptrAllocFrac);
+    draws_.half = Bernoulli(0.5);
+    draws_.p85 = Bernoulli(0.85);
+    draws_.p25 = Bernoulli(0.25);
+    draws_.p04 = Bernoulli(0.04);
+    draws_.remote = Bernoulli(profile_.remoteConflictFrac);
+    draws_.shared = Bernoulli(profile_.sharedFrac);
+
+    // Integer cut-points for the two selection cascades (see DrawSet):
+    // cutsFor(chain)[k] is the smallest draw whose chain branch exceeds
+    // k, found by binary search — legal because each chain's branch
+    // index is monotone nondecreasing in the draw value.
+    auto cutsFor = [](unsigned branches, auto &&chain, std::uint64_t *out) {
+        for (unsigned k = 0; k + 1 < branches; ++k) {
+            std::uint64_t lo = 0, hi = std::uint64_t(1) << 32;
+            while (lo < hi) {
+                std::uint64_t mid = (lo + hi) / 2;
+                if (chain(std::uint32_t(mid)) > k)
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            out[k] = lo;
+        }
+    };
+    auto mixChain = [](const InstMix &m) {
+        // The exact double-arithmetic cascade of fetch(), preserved
+        // operation for operation.
+        return [&m](std::uint32_t x) -> unsigned {
+            double u = x * (1.0 / 4294967296.0);
+            if ((u -= m.load) < 0)
+                return 0;
+            if ((u -= m.store) < 0)
+                return 1;
+            if ((u -= m.alu) < 0)
+                return 2;
+            if ((u -= m.mul) < 0)
+                return 3;
+            if ((u -= m.fp) < 0)
+                return 4;
+            if ((u -= m.branch) < 0)
+                return 5;
+            if ((u -= m.jumpInd) < 0)
+                return 6;
+            return 7;
+        };
+    };
+    cutsFor(8, mixChain(profile_.highMix), draws_.mixHighCuts.data());
+    cutsFor(8, mixChain(profile_.lowMix), draws_.mixLowCuts.data());
+    {
+        // pickMemAddr's region cascade, same preservation.
+        double total = profile_.memStackFrac + profile_.memHeapFrac +
+                       profile_.memGlobalFrac;
+        auto memChain = [&](std::uint32_t x) -> unsigned {
+            double u = x * (1.0 / 4294967296.0) * total;
+            if (u < profile_.memStackFrac)
+                return 0;
+            if (u < profile_.memStackFrac + profile_.memHeapFrac)
+                return 1;
+            return 2;
+        };
+        cutsFor(3, memChain, draws_.memCuts.data());
+    }
 
     globalLen_ = std::min<std::uint64_t>(
         std::uint64_t(1) << profile_.globalWsLog2,
@@ -67,6 +168,7 @@ TraceGenerator::TraceGenerator(const BenchProfile &profile)
     sharedLen_ = globalLen_ / 2;
 
     threads_.resize(profile_.numThreads);
+    setCurThread(0);
     Addr minSp = stackTop;
     for (unsigned t = 0; t < profile_.numThreads; ++t) {
         ThreadState &ts = threads_[t];
@@ -93,7 +195,7 @@ TraceGenerator::TraceGenerator(const BenchProfile &profile)
     for (unsigned i = 0; i < warmAllocs; ++i) {
         // Spread startup allocations across threads so parallel
         // workloads keep their heap data thread-private.
-        curThread_ = i % profile_.numThreads;
+        setCurThread(i % profile_.numThreads);
         // The first four allocations per thread seed the dedicated
         // base-pointer registers r28..r31.
         RegIndex forceDst =
@@ -104,37 +206,9 @@ TraceGenerator::TraceGenerator(const BenchProfile &profile)
         // pending_; the malloc itself must precede them.
         auto at = std::ptrdiff_t(pending_.size());
         Instruction m = emitMalloc(i >= 4 * profile_.numThreads, forceDst);
-        pending_.insert(pending_.begin() + at, m);
+        pending_.insert(std::size_t(at), m);
     }
-    curThread_ = 0;
-}
-
-const InstMix &
-TraceGenerator::mix() const
-{
-    return highPhase_ ? profile_.highMix : profile_.lowMix;
-}
-
-void
-TraceGenerator::maybeSwitchThread()
-{
-    if (profile_.numThreads <= 1)
-        return;
-    if (++sinceSwitch_ >= profile_.switchQuantum) {
-        sinceSwitch_ = 0;
-        curThread_ = (curThread_ + 1) % profile_.numThreads;
-    }
-}
-
-void
-TraceGenerator::maybeFlipPhase()
-{
-    if (phaseLeft_ > 0) {
-        --phaseLeft_;
-        return;
-    }
-    highPhase_ = rng_.chance(profile_.highPhaseFrac);
-    phaseLeft_ = rng_.geometric(1.0 / profile_.phaseLenMean, 1u << 20);
+    setCurThread(0);
 }
 
 Instruction
@@ -149,37 +223,6 @@ TraceGenerator::make(InstClass cls)
 }
 
 RegIndex
-TraceGenerator::pickSrcReg()
-{
-    ThreadState &ts = cur();
-    if (ts.recentRegs.empty())
-        return RegIndex(1 + rng_.range(26));
-    unsigned w = std::min<unsigned>(profile_.ilpWindow,
-                                    unsigned(ts.recentRegs.size()));
-    return ts.recentRegs[ts.recentRegs.size() - 1 - rng_.range(w)];
-}
-
-RegIndex
-TraceGenerator::pickDataReg()
-{
-    ThreadState &ts = cur();
-    for (unsigned tries = 0; tries < 4; ++tries) {
-        RegIndex r = pickSrcReg();
-        if (!ts.regPtr[r] && !ts.regTaint[r])
-            return r;
-    }
-    return 1;
-}
-
-RegIndex
-TraceGenerator::pickDstReg()
-{
-    ThreadState &ts = cur();
-    ts.rot = std::uint8_t(ts.rot % 26 + 1);
-    return RegIndex(ts.rot + 1);
-}
-
-RegIndex
 TraceGenerator::pickPtrReg(bool transientOnly)
 {
     ThreadState &ts = cur();
@@ -187,7 +230,7 @@ TraceGenerator::pickPtrReg(bool transientOnly)
     // code keeps object/frame base pointers live in registers for long
     // stretches, which sustains pointer activity even when transient
     // pointer registers have been clobbered.
-    if (!transientOnly && rng_.chance(0.5)) {
+    if (!transientOnly && draws_.half.draw(rng_)) {
         RegIndex r = RegIndex(28 + rng_.range(4));
         if (ts.regPtr[r])
             return r;
@@ -219,29 +262,6 @@ TraceGenerator::pickTaintReg()
     return 0;
 }
 
-void
-TraceGenerator::noteWrite(RegIndex r, bool isPtr, bool isTaint)
-{
-    ThreadState &ts = cur();
-    ts.regPtr[r] = isPtr;
-    ts.regTaint[r] = isTaint;
-    ts.recentRegs.push_back(r);
-    if (ts.recentRegs.size() > 32)
-        ts.recentRegs.erase(ts.recentRegs.begin(),
-                            ts.recentRegs.begin() + 16);
-}
-
-unsigned
-TraceGenerator::randomWord(std::uint64_t limitWords)
-{
-    // Skewed reuse: most random accesses land in the hot prefix of the
-    // region; the rest sweep the full footprint.
-    std::uint64_t hot = (std::uint64_t(1) << profile_.hotWsLog2) / wordSize;
-    if (hot < limitWords && rng_.chance(profile_.hotFrac))
-        return unsigned(rng_.next64() % hot);
-    return unsigned(rng_.next64() % limitWords);
-}
-
 Addr
 TraceGenerator::pickStackAddr(bool forWrite)
 {
@@ -251,7 +271,7 @@ TraceGenerator::pickStackAddr(bool forWrite)
     Frame &f = ts.stack.back();
     unsigned slot;
     if (forWrite && f.spilled < f.words &&
-        (f.spilled == 0 || rng_.chance(profile_.freshSlotFrac))) {
+        (f.spilled == 0 || draws_.fresh.draw(rng_))) {
         slot = f.spilled++;
     } else {
         slot = rng_.range(std::max(1u, f.spilled));
@@ -290,7 +310,7 @@ TraceGenerator::pickHeapAddr(bool forWrite)
         // initialized prefix contiguously (programs write before they
         // read, and initialization is sequential).
         if (a->initWords < a->words &&
-            (a->initWords == 0 || rng_.chance(0.04))) {
+            (a->initWords == 0 || draws_.p04.draw(rng_))) {
             return a->base + (a->initWords++) * wordSize;
         }
     }
@@ -302,7 +322,7 @@ TraceGenerator::pickHeapAddr(bool forWrite)
     // through the current allocation; random accesses (and run ends)
     // jump elsewhere.
     auto &run = cur().heapRun;
-    if (rng_.chance(profile_.seqFrac)) {
+    if (draws_.seq.draw(rng_)) {
         if (run.next != 0 && run.next < run.end) {
             Addr addr = run.next;
             run.next += wordSize;
@@ -346,7 +366,7 @@ TraceGenerator::pickGlobalAddr()
     }
     std::uint64_t words = std::max<std::uint64_t>(1, len / wordSize);
     auto &run = cur().globalRun;
-    if (rng_.chance(profile_.seqFrac)) {
+    if (draws_.seq.draw(rng_)) {
         if (run.next != 0 && run.next < run.end) {
             Addr addr = run.next;
             run.next += wordSize;
@@ -365,7 +385,7 @@ TraceGenerator::pickSharedAddr()
 {
     ThreadState &ts = cur();
     // Conflict: touch a word another thread recently owned.
-    if (rng_.chance(profile_.remoteConflictFrac) &&
+    if (draws_.remote.draw(rng_) &&
         profile_.numThreads > 1) {
         unsigned other =
             (curThread_ + 1 + rng_.range(profile_.numThreads - 1)) %
@@ -379,7 +399,7 @@ TraceGenerator::pickSharedAddr()
     }
     // Temporal affinity: threads mostly re-touch the shared words they
     // worked on recently within their quantum.
-    if (!ts.recentShared.empty() && rng_.chance(0.85))
+    if (!ts.recentShared.empty() && draws_.p85.draw(rng_))
         return ts.recentShared[rng_.range(unsigned(ts.recentShared.size()))];
 
     std::uint64_t words = std::max<std::uint64_t>(1, sharedLen_ / wordSize);
@@ -394,14 +414,14 @@ TraceGenerator::pickSharedAddr()
 Addr
 TraceGenerator::pickMemAddr(bool forWrite)
 {
-    if (profile_.numThreads > 1 && rng_.chance(profile_.sharedFrac))
+    if (profile_.numThreads > 1 && draws_.shared.draw(rng_))
         return pickSharedAddr();
-    double total = profile_.memStackFrac + profile_.memHeapFrac +
-                   profile_.memGlobalFrac;
-    double u = rng_.uniform() * total;
-    if (u < profile_.memStackFrac)
+    // Integer cut-point selection, bit-identical to the double cascade
+    // it replaced (see DrawSet::memCuts).
+    std::uint32_t x = rng_.next();
+    if (x < draws_.memCuts[0])
         return pickStackAddr(forWrite);
-    if (u < profile_.memStackFrac + profile_.memHeapFrac)
+    if (x < draws_.memCuts[1])
         return pickHeapAddr(forWrite);
     return pickGlobalAddr();
 }
@@ -411,9 +431,9 @@ TraceGenerator::makeLoad()
 {
     Instruction i = make(InstClass::Load);
     bool taintOp = taintActive() && !cur().taintSlots.empty() &&
-                   rng_.chance(profile_.taintOpFrac);
+                   draws_.taintOp.draw(rng_);
     bool ptrOp = !taintOp && !cur().ptrSlots.empty() &&
-                 rng_.chance(profile_.ptrOpFrac);
+                 draws_.ptrOp.draw(rng_);
     Addr a;
     if (taintOp)
         a = cur().taintSlots[rng_.range(unsigned(cur().taintSlots.size()))];
@@ -421,15 +441,15 @@ TraceGenerator::makeLoad()
         a = cur().ptrSlots[rng_.range(unsigned(cur().ptrSlots.size()))];
     else
         a = pickMemAddr(false);
-    i.memAddr = a & ~Addr(3);
+    i.memAddr = wordKey(a);
     i.numSrc = 1;
     i.src1 = pickSrcReg();
     i.hasDst = true;
     i.dst = pickDstReg();
     // The destination's semantic state follows what the slot actually
     // holds (monitors will compute exactly this from the event).
-    noteWrite(i.dst, ptrWords_.count(i.memAddr) != 0,
-              taintWords_.count(i.memAddr) != 0);
+    noteWrite(i.dst, ptrWords_.contains(i.memAddr),
+              taintWords_.contains(i.memAddr));
     return i;
 }
 
@@ -439,13 +459,13 @@ TraceGenerator::makeStore()
     Instruction i = make(InstClass::Store);
     RegIndex taintReg = 0;
     RegIndex ptrReg = 0;
-    if (taintActive() && rng_.chance(profile_.taintOpFrac))
+    if (taintActive() && draws_.taintOp.draw(rng_))
         taintReg = pickTaintReg();
-    if (!taintReg && rng_.chance(profile_.ptrOpFrac))
+    if (!taintReg && draws_.ptrOp.draw(rng_))
         ptrReg = pickPtrReg();
 
     Addr a = ptrReg ? pickPtrStoreAddr() : pickMemAddr(true);
-    i.memAddr = a & ~Addr(3);
+    i.memAddr = wordKey(a);
     i.numSrc = 2;
     i.src2 = pickSrcReg(); // address register
     if (taintReg) {
@@ -472,12 +492,12 @@ TraceGenerator::makeAlu(bool imm)
     Instruction i = make(InstClass::IntAlu);
     i.hasDst = true;
 
-    bool taintOp = taintActive() && rng_.chance(profile_.taintOpFrac);
+    bool taintOp = taintActive() && draws_.taintOp.draw(rng_);
     RegIndex tr = taintOp ? pickTaintReg() : 0;
-    bool ptrOp = !tr && rng_.chance(profile_.ptrOpFrac);
+    bool ptrOp = !tr && draws_.ptrOp.draw(rng_);
     RegIndex pr = ptrOp ? pickPtrReg() : 0;
 
-    if (pr && pr < 28 && rng_.chance(0.25)) {
+    if (pr && pr < 28 && draws_.p25.draw(rng_)) {
         // Overwrite a pointer register with data: drops a reference
         // (how most leaks become detectable).
         i.numSrc = imm ? 1 : 2;
@@ -513,7 +533,7 @@ TraceGenerator::makeAlu(bool imm)
     i.numSrc = imm ? 1 : 2;
     i.src1 = pickDataReg();
     i.src2 = imm ? RegIndex(0) : pickDataReg();
-    i.mayPropagate = rng_.chance(profile_.propAluFrac);
+    i.mayPropagate = draws_.prop.draw(rng_);
     if (i.mayPropagate) {
         i.dst = pickDstReg();
         noteWrite(i.dst, false, false);
@@ -561,7 +581,7 @@ TraceGenerator::makeBranch()
     i.numSrc = 2;
     i.src1 = pickDataReg();
     i.src2 = pickDataReg();
-    i.mispredict = rng_.chance(profile_.mispredictRate);
+    i.mispredict = draws_.misp.draw(rng_);
     return i;
 }
 
@@ -579,7 +599,7 @@ TraceGenerator::makeJumpInd()
     if (cur().regTaint[r])
         r = 1;
     i.src1 = r;
-    i.mispredict = rng_.chance(profile_.mispredictRate * 0.5);
+    i.mispredict = draws_.mispHalf.draw(rng_);
     return i;
 }
 
@@ -603,11 +623,11 @@ TraceGenerator::emitCall()
     // Prologue: spill registers into the fresh frame.
     for (unsigned s = 0; s < spills; ++s) {
         Instruction st = make(InstClass::Store);
-        st.memAddr = base + s * wordSize;
+        st.memAddr = wordKey(base + s * wordSize);
         st.numSrc = 2;
         st.src2 = pickSrcReg();
         RegIndex pr =
-            rng_.chance(profile_.ptrOpFrac) ? pickPtrReg() : RegIndex(0);
+            draws_.ptrOp.draw(rng_) ? pickPtrReg() : RegIndex(0);
         if (pr) {
             st.src1 = pr;
             ringPush(cur().ptrSlots, st.memAddr);
@@ -638,7 +658,7 @@ TraceGenerator::emitReturn()
     Instruction i = make(InstClass::Return);
     i.frameBase = f.base;
     i.frameBytes = f.words * wordSize;
-    i.mispredict = rng_.chance(profile_.mispredictRate * 0.3);
+    i.mispredict = draws_.misp03.draw(rng_);
     return i;
 }
 
@@ -677,7 +697,7 @@ TraceGenerator::emitMalloc(bool allowFree, RegIndex forceDst)
                  "synthetic heap exhausted; lower mallocRate");
     }
 
-    bool ptrPool = rng_.chance(profile_.ptrAllocFrac);
+    bool ptrPool = draws_.ptrAlloc.draw(rng_);
     liveAllocs_.push_back({base, words, 0, curThread_, ptrPool});
     eraseWordRange(base, std::uint64_t(words) * wordSize);
 
@@ -713,7 +733,7 @@ TraceGenerator::emitMalloc(bool allowFree, RegIndex forceDst)
     }
     a.initWords = initWords;
 
-    if (allowFree && rng_.chance(profile_.freeFrac)) {
+    if (allowFree && draws_.free_.draw(rng_)) {
         std::uint64_t due =
             emitted_ +
             rng_.geometric(1.0 / profile_.allocLifetimeMean, 1u << 22);
@@ -783,7 +803,7 @@ TraceGenerator::emitTaintSource()
     i.frameBytes = words * wordSize;
 
     for (unsigned w = 0; w < words; ++w) {
-        taintWords_.insert(base + w * wordSize);
+        taintWords_.insert(wordKey(base + w * wordSize));
         if (w < 32)
             ringPush(cur().taintSlots, base + w * wordSize);
     }
@@ -818,7 +838,7 @@ TraceGenerator::injectBug(TruthBits kind)
         if (addr == 0) {
             auto at = std::ptrdiff_t(pending_.size());
             Instruction m = emitMalloc(false);
-            pending_.insert(pending_.begin() + at, m);
+            pending_.insert(std::size_t(at), m);
             addr = liveAllocs_.back().base +
                    liveAllocs_.back().initWords * wordSize;
         }
@@ -859,7 +879,7 @@ TraceGenerator::injectBug(TruthBits kind)
         auto at = std::ptrdiff_t(pending_.size());
         Instruction m = emitMalloc(false);
         RegIndex ptr = m.dst;
-        pending_.insert(pending_.begin() + at, m);
+        pending_.insert(std::size_t(at), m);
         Instruction kill = make(InstClass::IntAlu);
         kill.numSrc = 2;
         kill.src1 = pickSrcReg();
@@ -925,7 +945,7 @@ TraceGenerator::fetch()
         return emitFree(base);
     }
 
-    if (rng_.chance(profile_.callRate * 2.0)) {
+    if (draws_.call.draw(rng_)) {
         unsigned depth = unsigned(cur().stack.size());
         double pReturn = double(depth) / (2.0 * profile_.targetDepth);
         if (depth > 1 && rng_.chance(pReturn))
@@ -935,28 +955,31 @@ TraceGenerator::fetch()
         return emitReturn();
     }
 
-    if (rng_.chance(profile_.mallocRate))
+    if (draws_.malloc_.draw(rng_))
         return emitMalloc();
 
     if (profile_.taintSourceRate > 0 &&
-        rng_.chance(profile_.taintSourceRate))
+        draws_.taintSrc.draw(rng_))
         return emitTaintSource();
 
-    const InstMix &m = mix();
-    double u = rng_.uniform();
-    if ((u -= m.load) < 0)
+    // Integer cut-point selection, bit-identical to the double cascade
+    // it replaced (see DrawSet::mix*Cuts).
+    const std::array<std::uint64_t, 7> &cuts =
+        highPhase_ ? draws_.mixHighCuts : draws_.mixLowCuts;
+    std::uint32_t x = rng_.next();
+    if (x < cuts[0])
         return makeLoad();
-    if ((u -= m.store) < 0)
+    if (x < cuts[1])
         return makeStore();
-    if ((u -= m.alu) < 0)
-        return makeAlu(rng_.chance(profile_.aluImmFrac));
-    if ((u -= m.mul) < 0)
+    if (x < cuts[2])
+        return makeAlu(draws_.aluImm.draw(rng_));
+    if (x < cuts[3])
         return makeMul();
-    if ((u -= m.fp) < 0)
+    if (x < cuts[4])
         return makeFp();
-    if ((u -= m.branch) < 0)
+    if (x < cuts[5])
         return makeBranch();
-    if ((u -= m.jumpInd) < 0)
+    if (x < cuts[6])
         return makeJumpInd();
     return make(InstClass::Nop);
 }
