@@ -1,24 +1,32 @@
 /**
  * @file
  * Multi-core scaling study (beyond the paper's per-core evaluation;
- * Section 7 argues FADE replicates across a CMP). Sweeps a sharded
- * system over N ∈ {1, 2, 4, 8} {core, FADE, MD cache} shards behind a
- * shared L2, running a multiprogrammed SPEC mix with MemLeak, and
- * reports per-shard and aggregate statistics plus each shard's slowdown
- * against its unmonitored single-core baseline.
+ * Section 7 argues FADE replicates across a CMP). Two sweeps:
  *
- * Each N runs under every scheduler policy × intra-shard engine
- * combination — {Lockstep, ParallelBatched} × {per-cycle, batched} —
- * and the harness hard-checks that all four produce bit-identical
- * simulated statistics before reporting wall clock: the parallel
- * policy's speedup is host-dependent (expect > 1.5x at N = 8 on a
- * multi-core host, ~1x on a single-CPU one), the batched engine's
- * events/sec gain is workload-dependent. One machine-readable JSON
- * line is emitted per (N, policy, engine) so BENCH_*.json trajectories
- * can track events/sec across PRs (docs/BENCHMARKS.md).
- * The N=1 row doubles as a regression check: it must match the legacy
- * single-core system.
+ *  - Flat scaling: N ∈ {1, 2, 4, 8} {core, FADE, MD cache} shards
+ *    behind one shared L2, running a multiprogrammed SPEC mix with
+ *    MemLeak. Each N runs under every scheduler policy × intra-shard
+ *    engine combination — {Lockstep, ParallelBatched} × {per-cycle,
+ *    batched} — and the harness hard-checks that all four produce
+ *    bit-identical simulated statistics before reporting wall clock.
+ *    The N=1 row doubles as a regression check: it must match the
+ *    legacy single-core system.
+ *
+ *  - Topology scaling: the same mix swept over NUMA-style clustered
+ *    shapes (system/topology.hh) — clusters ∈ {1, 2, 4} shared-L2
+ *    slices behind the home-node directory × fadesPerShard ∈ {1, 2}
+ *    filter units — with a cross-topology determinism hard-check: for
+ *    every shape, Lockstep/per-cycle and ParallelBatched/batched must
+ *    agree bit for bit.
+ *
+ * One machine-readable JSON line is emitted per (N, policy, engine,
+ * clusters, fadesPerShard) so BENCH_*.json trajectories can track
+ * events/sec across PRs (docs/BENCHMARKS.md documents the fields).
+ * `--smoke` runs a reduced 2×2-cluster matrix with short slices — the
+ * Release CI job uses it to exercise the cluster path every build.
  */
+
+#include <cstring>
 
 #include "bench/common.hh"
 #include "system/multicore.hh"
@@ -37,17 +45,36 @@ struct TimedRun
     std::vector<std::uint64_t> fingerprint;
 };
 
+std::uint64_t gWarm = warmupInsts;
+std::uint64_t gMeasure = measureInsts;
+
+MultiCoreConfig
+baseConfig(const std::vector<BenchProfile> &mix, unsigned n,
+           SchedulerPolicy pol, Engine eng, unsigned clusters = 1,
+           unsigned fadesPerShard = 1)
+{
+    MultiCoreConfig cfg;
+    cfg.numShards = n;
+    cfg.monitor = "MemLeak";
+    cfg.workloads = mix;
+    cfg.scheduler.policy = pol;
+    cfg.engine = eng;
+    cfg.topology.clusters = clusters;
+    cfg.topology.fadesPerShard = fadesPerShard;
+    return cfg;
+}
+
 TimedRun
 runConfig(const MultiCoreConfig &cfg)
 {
     MultiCoreSystem sys(cfg);
-    sys.warmup(warmupInsts);
+    sys.warmup(gWarm);
     // Time only the measured run, via the scheduler's own accounting:
     // warmup ends in a sequential per-shard drain that would dilute
     // the policy comparison.
     sys.scheduler().resetStats();
     TimedRun t;
-    t.result = sys.run(measureInsts);
+    t.result = sys.run(gMeasure);
     t.wallSeconds = sys.scheduler().stats().wallSeconds;
     t.fingerprint = resultFingerprint(sys, t.result);
     return t;
@@ -66,136 +93,252 @@ engineName(Engine e)
 }
 
 void
-jsonLine(unsigned n, SchedulerPolicy pol, Engine eng, const TimedRun &t)
+jsonLine(unsigned n, SchedulerPolicy pol, Engine eng, unsigned clusters,
+         unsigned fadesPerShard, const TimedRun &t)
 {
     const MultiCoreResult &r = t.result;
     std::printf("{\"bench\":\"fig12_multicore_scaling\",\"n\":%u,"
                 "\"policy\":\"%s\",\"engine\":\"%s\","
+                "\"clusters\":%u,\"fades_per_shard\":%u,"
                 "\"instructions\":%llu,\"events\":%llu,"
                 "\"makespan_cycles\":%llu,\"aggregate_ipc\":%.4f,"
+                "\"l2_local\":%llu,\"l2_remote\":%llu,"
                 "\"wall_s\":%.6f,\"events_per_s\":%.0f}\n",
-                n, policyName(pol), engineName(eng),
+                n, policyName(pol), engineName(eng), clusters,
+                fadesPerShard,
                 (unsigned long long)r.totalInstructions,
                 (unsigned long long)r.totalEvents,
                 (unsigned long long)r.cycles, r.aggregateIpc,
+                (unsigned long long)r.l2LocalAccesses,
+                (unsigned long long)r.l2RemoteAccesses,
                 t.wallSeconds, r.totalEvents / t.wallSeconds);
+}
+
+/** Flat policy × engine sweep at one shard count. Returns false on a
+ *  divergence (already reported). */
+bool
+flatSweep(const std::vector<BenchProfile> &mix, unsigned n,
+          const Measured &legacy, double *ipc1)
+{
+    const CoreParams shardCore = MultiCoreConfig{}.shard.core;
+    header(("Fig. 12: sharded multi-core scaling, N = " +
+            std::to_string(n) + " (MemLeak, SPEC mix)")
+               .c_str());
+
+    // All four policy × engine combinations; index [engine][policy].
+    TimedRun runs[2][2];
+    for (Engine eng : {Engine::PerCycle, Engine::Batched})
+        for (auto pol : {SchedulerPolicy::Lockstep,
+                         SchedulerPolicy::ParallelBatched})
+            runs[eng == Engine::Batched]
+                [pol == SchedulerPolicy::ParallelBatched] =
+                    runConfig(baseConfig(mix, n, pol, eng));
+
+    const TimedRun &reference = runs[0][0];
+    for (int e = 0; e < 2; ++e) {
+        for (int p = 0; p < 2; ++p) {
+            if (runs[e][p].fingerprint != reference.fingerprint) {
+                std::printf("DIVERGENCE at N=%u: engine=%s policy=%s "
+                            "does not match the per-cycle lockstep "
+                            "reference\n",
+                            n, e ? "batched" : "percycle",
+                            p ? "parallel" : "lockstep");
+                return false;
+            }
+        }
+    }
+
+    const MultiCoreResult &r = reference.result;
+    TextTable t;
+    t.header({"shard", "workload", "IPC", "slowdown", "filtering",
+              "EQ p95", "cycles"});
+    for (const ShardResult &s : r.shards) {
+        BenchProfile prof = shardWorkload(mix, s.shard);
+        double base = double(baselineCycles(prof, shardCore));
+        t.row({std::to_string(s.shard), s.workload,
+               fmt("%.2f", s.run.appIpc),
+               fmtX(double(s.run.cycles) / base),
+               fmtPct(s.filteringRatio),
+               std::to_string(s.eqOccupancy.percentile(0.95)),
+               std::to_string(s.run.cycles)});
+    }
+    t.print();
+
+    std::printf("\naggregate: IPC %.2f | makespan %llu cycles | "
+                "events %llu | filtering %.1f%% | "
+                "cross-shard events %llu (must be 0)\n",
+                r.aggregateIpc, (unsigned long long)r.cycles,
+                (unsigned long long)r.totalEvents,
+                r.filteringRatio * 100.0,
+                (unsigned long long)r.fade.crossShardEvents);
+    std::printf("wall-clock, all stats bit-identical across the "
+                "4 combinations:\n");
+    for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
+        const TimedRun &lock = runs[eng == Engine::Batched][0];
+        const TimedRun &par = runs[eng == Engine::Batched][1];
+        std::printf("  engine %-8s lockstep %.3fs | parallel %.3fs "
+                    "| policy speedup %.2fx\n",
+                    engineName(eng), lock.wallSeconds, par.wallSeconds,
+                    lock.wallSeconds / par.wallSeconds);
+    }
+    std::printf("  batched/percycle engine speedup (lockstep): %.2fx\n",
+                runs[0][0].wallSeconds / runs[1][0].wallSeconds);
+    for (Engine eng : {Engine::PerCycle, Engine::Batched})
+        for (auto pol : {SchedulerPolicy::Lockstep,
+                         SchedulerPolicy::ParallelBatched})
+            jsonLine(n, pol, eng, 1, 1,
+                     runs[eng == Engine::Batched]
+                         [pol == SchedulerPolicy::ParallelBatched]);
+
+    if (n == 1) {
+        *ipc1 = r.aggregateIpc;
+        bool match = r.cycles == legacy.run.cycles &&
+                     r.totalInstructions == legacy.run.appInstructions &&
+                     r.totalEvents == legacy.run.monitoredEvents;
+        std::printf("N=1 vs legacy single-core System: %s "
+                    "(cycles %llu vs %llu)\n",
+                    match ? "MATCH" : "MISMATCH",
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)legacy.run.cycles);
+        if (!match)
+            return false;
+    } else {
+        std::printf("throughput scaling vs N=1: %.2fx over %ux cores\n",
+                    r.aggregateIpc / *ipc1, n);
+    }
+    std::printf("\n");
+    return true;
+}
+
+/**
+ * One clustered shape: run the two extreme policy/engine corners,
+ * hard-check they agree bit for bit (the cross-topology determinism
+ * gate), emit both JSON lines, and return the reference for the table.
+ */
+bool
+topologyPoint(const std::vector<BenchProfile> &mix, unsigned n,
+              unsigned clusters, unsigned fades, TimedRun *out)
+{
+    TimedRun ref = runConfig(baseConfig(mix, n,
+                                        SchedulerPolicy::Lockstep,
+                                        Engine::PerCycle, clusters,
+                                        fades));
+    TimedRun cross = runConfig(
+        baseConfig(mix, n, SchedulerPolicy::ParallelBatched,
+                   Engine::Batched, clusters, fades));
+    if (cross.fingerprint != ref.fingerprint) {
+        std::printf("DIVERGENCE at N=%u clusters=%u fades=%u: "
+                    "parallel/batched does not match "
+                    "lockstep/per-cycle\n",
+                    n, clusters, fades);
+        return false;
+    }
+    jsonLine(n, SchedulerPolicy::Lockstep, Engine::PerCycle, clusters,
+             fades, ref);
+    jsonLine(n, SchedulerPolicy::ParallelBatched, Engine::Batched,
+             clusters, fades, cross);
+    *out = std::move(ref);
+    return true;
+}
+
+bool
+topologySweep(const std::vector<BenchProfile> &mix)
+{
+    header("Fig. 12 extension: clustered topologies "
+           "(clusters x fadesPerShard, MemLeak, SPEC mix)");
+    TextTable t;
+    t.header({"N", "clusters", "fades", "makespan", "agg IPC",
+              "remote%", "filtering"});
+    for (unsigned n : {2u, 4u, 8u}) {
+        for (unsigned clusters : {1u, 2u, 4u}) {
+            if (clusters > n || n % clusters != 0)
+                continue;
+            for (unsigned fades : {1u, 2u}) {
+                if (clusters == 1 && fades == 1)
+                    continue; // the flat sweep above covers it
+                TimedRun run;
+                if (!topologyPoint(mix, n, clusters, fades, &run))
+                    return false;
+                const MultiCoreResult &r = run.result;
+                double routed = double(r.l2LocalAccesses +
+                                       r.l2RemoteAccesses);
+                t.row({std::to_string(n), std::to_string(clusters),
+                       std::to_string(fades),
+                       std::to_string(r.cycles),
+                       fmt("%.2f", r.aggregateIpc),
+                       fmtPct(routed ? r.l2RemoteAccesses / routed
+                                     : 0.0),
+                       fmtPct(r.filteringRatio)});
+            }
+        }
+    }
+    t.print();
+    std::printf("\nevery shape bit-identical across "
+                "lockstep/per-cycle vs parallel/batched\n\n");
+    return true;
+}
+
+/** CI smoke: a short 2x2-cluster run exercising directory routing,
+ *  multi-FADE steering, and all four policy x engine combinations. */
+int
+smoke()
+{
+    gWarm = 8000;
+    gMeasure = 16000;
+    const std::vector<BenchProfile> mix = multiprogramWorkloads("hmmer");
+    header("fig12 --smoke: 2x2 clustered topology, 2 FADEs/shard");
+    TimedRun ref;
+    bool first = true;
+    for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
+        for (auto pol : {SchedulerPolicy::Lockstep,
+                         SchedulerPolicy::ParallelBatched}) {
+            MultiCoreConfig cfg = baseConfig(mix, 0, pol, eng, 2, 2);
+            cfg.topology.shardsPerCluster = 2; // 2 clusters x 2 shards
+            TimedRun t = runConfig(cfg);
+            jsonLine(4, pol, eng, 2, 2, t);
+            if (first) {
+                ref = std::move(t);
+                first = false;
+            } else if (t.fingerprint != ref.fingerprint) {
+                std::printf("SMOKE DIVERGENCE: policy=%s engine=%s\n",
+                            policyName(pol), engineName(eng));
+                return 1;
+            }
+        }
+    }
+    const MultiCoreResult &r = ref.result;
+    if (r.fade.crossShardEvents != 0 || r.l2RemoteAccesses == 0) {
+        std::printf("SMOKE FAILURE: cross-shard events %llu, "
+                    "remote accesses %llu\n",
+                    (unsigned long long)r.fade.crossShardEvents,
+                    (unsigned long long)r.l2RemoteAccesses);
+        return 1;
+    }
+    std::printf("smoke OK: 4 shards, 2 clusters, remote share %.1f%%, "
+                "all 4 combinations bit-identical\n",
+                100.0 * r.l2RemoteAccesses /
+                    double(r.l2LocalAccesses + r.l2RemoteAccesses));
+    return 0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0)
+        return smoke();
+
     const std::vector<BenchProfile> mix = multiprogramWorkloads("hmmer");
-    const char *monitor = "MemLeak";
     // Slowdowns normalize against a baseline simulated with the same
     // core the shards run (the MultiCoreConfig default).
-    const CoreParams shardCore = MultiCoreConfig{}.shard.core;
-
-    // Legacy single-core reference for the N=1 equivalence check.
-    Measured legacy = measure(SystemConfig{}, monitor, mix[0]);
+    Measured legacy = measure(SystemConfig{}, "MemLeak", mix[0]);
 
     double ipc1 = 0.0;
-    for (unsigned n : {1u, 2u, 4u, 8u}) {
-        header(("Fig. 12: sharded multi-core scaling, N = " +
-                std::to_string(n) + " (" + monitor + ", SPEC mix)")
-                   .c_str());
-
-        // All four policy × engine combinations; index [engine][policy].
-        TimedRun runs[2][2];
-        for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
-            for (auto pol : {SchedulerPolicy::Lockstep,
-                             SchedulerPolicy::ParallelBatched}) {
-                MultiCoreConfig cfg;
-                cfg.numShards = n;
-                cfg.monitor = monitor;
-                cfg.workloads = mix;
-                cfg.scheduler.policy = pol;
-                cfg.engine = eng;
-                runs[eng == Engine::Batched]
-                    [pol == SchedulerPolicy::ParallelBatched] =
-                        runConfig(cfg);
-            }
-        }
-
-        const TimedRun &reference = runs[0][0];
-        for (int e = 0; e < 2; ++e) {
-            for (int p = 0; p < 2; ++p) {
-                if (runs[e][p].fingerprint != reference.fingerprint) {
-                    std::printf("DIVERGENCE at N=%u: engine=%s "
-                                "policy=%s does not match the "
-                                "per-cycle lockstep reference\n",
-                                n, e ? "batched" : "percycle",
-                                p ? "parallel" : "lockstep");
-                    return 1;
-                }
-            }
-        }
-
-        const MultiCoreResult &r = reference.result;
-        TextTable t;
-        t.header({"shard", "workload", "IPC", "slowdown", "filtering",
-                  "EQ p95", "cycles"});
-        for (const ShardResult &s : r.shards) {
-            BenchProfile prof = shardWorkload(mix, s.shard);
-            double base = double(baselineCycles(prof, shardCore));
-            t.row({std::to_string(s.shard), s.workload,
-                   fmt("%.2f", s.run.appIpc),
-                   fmtX(double(s.run.cycles) / base),
-                   fmtPct(s.filteringRatio),
-                   std::to_string(s.eqOccupancy.percentile(0.95)),
-                   std::to_string(s.run.cycles)});
-        }
-        t.print();
-
-        std::printf("\naggregate: IPC %.2f | makespan %llu cycles | "
-                    "events %llu | filtering %.1f%% | "
-                    "cross-shard events %llu (must be 0)\n",
-                    r.aggregateIpc,
-                    (unsigned long long)r.cycles,
-                    (unsigned long long)r.totalEvents,
-                    r.filteringRatio * 100.0,
-                    (unsigned long long)r.fade.crossShardEvents);
-        std::printf("wall-clock, all stats bit-identical across the "
-                    "4 combinations:\n");
-        for (Engine eng : {Engine::PerCycle, Engine::Batched}) {
-            const TimedRun &lock = runs[eng == Engine::Batched][0];
-            const TimedRun &par = runs[eng == Engine::Batched][1];
-            std::printf("  engine %-8s lockstep %.3fs | parallel %.3fs "
-                        "| policy speedup %.2fx\n",
-                        engineName(eng), lock.wallSeconds,
-                        par.wallSeconds,
-                        lock.wallSeconds / par.wallSeconds);
-        }
-        std::printf("  batched/percycle engine speedup (lockstep): "
-                    "%.2fx\n",
-                    runs[0][0].wallSeconds / runs[1][0].wallSeconds);
-        for (Engine eng : {Engine::PerCycle, Engine::Batched})
-            for (auto pol : {SchedulerPolicy::Lockstep,
-                             SchedulerPolicy::ParallelBatched})
-                jsonLine(n, pol, eng,
-                         runs[eng == Engine::Batched]
-                             [pol == SchedulerPolicy::ParallelBatched]);
-
-        if (n == 1) {
-            ipc1 = r.aggregateIpc;
-            bool match = r.cycles == legacy.run.cycles &&
-                         r.totalInstructions ==
-                             legacy.run.appInstructions &&
-                         r.totalEvents == legacy.run.monitoredEvents;
-            std::printf("N=1 vs legacy single-core System: %s "
-                        "(cycles %llu vs %llu)\n",
-                        match ? "MATCH" : "MISMATCH",
-                        (unsigned long long)r.cycles,
-                        (unsigned long long)legacy.run.cycles);
-            if (!match)
-                return 1;
-        } else {
-            std::printf("throughput scaling vs N=1: %.2fx over %ux "
-                        "cores\n",
-                        r.aggregateIpc / ipc1, n);
-        }
-        std::printf("\n");
-    }
+    for (unsigned n : {1u, 2u, 4u, 8u})
+        if (!flatSweep(mix, n, legacy, &ipc1))
+            return 1;
+    if (!topologySweep(mix))
+        return 1;
     return 0;
 }

@@ -1,30 +1,111 @@
 #!/bin/sh
-# Fail if docs/*.md or README.md reference repo paths that no longer
-# exist. A "reference" is any backtick-quoted token that contains a
-# slash and a known source/doc extension, e.g. `src/mem/cache.hh` or
-# `docs/ARCHITECTURE.md`. Absolute paths and glob patterns are skipped.
+# Fail if maintained markdown files reference repo paths that no longer
+# exist. The scanned file list is shared with check_md_links.sh
+# (scripts/lib_md_files.sh): docs/*.md plus the maintained root
+# documents.
+#
+# A "reference" is any backtick-quoted token that starts with a known
+# top-level repo directory, contains a slash, and ends in a known
+# source/doc extension — plain form `src/mem/cache.hh` or brace form
+# `src/system/topology.{hh,cc}` (each expansion is checked). Absolute
+# paths and glob patterns are skipped.
+#
+# Usage:
+#   check_docs_refs.sh             check this repository
+#   check_docs_refs.sh --selftest  verify the checker catches dangling
+#                                  references (used by ctest/CI)
 set -eu
-cd "$(dirname "$0")/.."
 
-status=0
-for f in docs/*.md README.md; do
-    [ -f "$f" ] || continue
-    refs=$(grep -oE '`[A-Za-z0-9_./-]+\.(cc|hh|cpp|md|sh|yml|txt)`' \
-               "$f" | tr -d '`' | sort -u) || refs=""
-    for r in $refs; do
-        case "$r" in
-            /*) continue ;;     # absolute: not a repo path
-            *'*'*) continue ;;  # glob pattern
-            */*) ;;             # repo-relative path: check it
-            *) continue ;;      # bare file name: too ambiguous
-        esac
-        if [ ! -e "$r" ]; then
-            echo "$f: dangling reference: $r" >&2
-            status=1
-        fi
+. "$(dirname "$0")/lib_md_files.sh"
+
+ref_dirs='src|docs|tests|bench|scripts|examples|\.github'
+ref_exts='cc|hh|cpp|md|sh|yml|txt|json'
+
+# Print every referenced path in $1, one per line, brace forms
+# expanded (`a.{hh,cc}` -> `a.hh` and `a.cc`).
+refs_in() {
+    grep -oE "\`($ref_dirs)/[A-Za-z0-9_./-]+\.($ref_exts)\`" "$1" |
+        tr -d '\140' || true
+    for b in $(grep -oE \
+        "\`($ref_dirs)/[A-Za-z0-9_./-]+\.\{($ref_exts)(,($ref_exts))+\}\`" \
+        "$1" | tr -d '\140' || true); do
+        stem=${b%%.\{*}
+        exts=${b#*.\{}
+        exts=${exts%\}}
+        for e in $(printf '%s' "$exts" | tr ',' ' '); do
+            printf '%s.%s\n' "$stem" "$e"
+        done
     done
-done
-if [ "$status" -eq 0 ]; then
-    echo "docs references OK"
+}
+
+# Check every maintained markdown file under $1; print dangling
+# references and return nonzero if any were found.
+check_tree() {
+    root="$1"
+    st=0
+    for f in $(maintained_md_files "$root"); do
+        for r in $(refs_in "$f" | sort -u); do
+            case "$r" in
+                *'*'*) continue ;; # glob pattern
+            esac
+            if [ ! -e "$root/$r" ]; then
+                echo "${f#"$root"/}: dangling reference: $r" >&2
+                st=1
+            fi
+        done
+    done
+    return $st
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    mkdir -p "$tmp/docs" "$tmp/src/mem"
+    echo "int x;" > "$tmp/src/mem/cache.hh"
+    echo "int y;" > "$tmp/src/mem/cache.cc"
+
+    # A tree with only valid references (plain and brace form) must
+    # pass.
+    cat > "$tmp/docs/GOOD.md" <<'EOF'
+See `src/mem/cache.hh`, `src/mem/cache.{hh,cc}`, and the glob
+`src/*.cc`.
+EOF
+    if ! check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: clean tree reported dangling refs" >&2
+        exit 1
+    fi
+
+    # Dangling src/... and docs/... references must fail, in docs/ and
+    # in root documents alike — including one leg of a brace form.
+    echo 'Broken: `src/mem/gone.cc`.' > "$tmp/docs/BAD.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: dangling src/ ref not caught" >&2
+        exit 1
+    fi
+    echo 'Broken: `src/mem/gone.{hh,cc}`.' > "$tmp/docs/BAD.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: dangling brace-form ref not caught" >&2
+        exit 1
+    fi
+    rm "$tmp/docs/BAD.md"
+    echo 'Broken: `docs/GONE.md`.' > "$tmp/README.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: dangling docs/ ref in README not caught" >&2
+        exit 1
+    fi
+    echo 'Stale: `scripts/gone.sh`.' > "$tmp/CHANGES.md"
+    rm "$tmp/README.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: dangling ref in CHANGES not caught" >&2
+        exit 1
+    fi
+    echo "docs references selftest OK"
+    exit 0
 fi
-exit $status
+
+cd "$(dirname "$0")/.."
+if check_tree .; then
+    echo "docs references OK"
+else
+    exit 1
+fi

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Markdown link check, no network: every relative link target in the
+# maintained markdown files (the list shared with check_docs_refs.sh
+# via scripts/lib_md_files.sh) must exist — resolved relative to the
+# linking file's directory, exactly as a renderer would. External
+# links (http/https/mailto) and pure in-page anchors (#...) are
+# skipped; anchors and optional "titles" on relative links are
+# stripped before the existence check.
+#
+# Usage:
+#   check_md_links.sh             check this repository
+#   check_md_links.sh --selftest  verify the checker catches broken
+#                                 links (used by ctest/CI)
+set -eu
+
+. "$(dirname "$0")/lib_md_files.sh"
+
+check_tree() {
+    root="$1"
+    st=0
+    for f in $(maintained_md_files "$root"); do
+        # Inline links: [text](target) or [text](target "title").
+        # Split the extracted list on newlines only, so targets that
+        # contain spaces stay intact. Reference definitions are rare
+        # here; extend when one appears.
+        links=$(grep -oE '\]\([^)]+\)' "$f" |
+                    sed -e 's/^](//' -e 's/)$//' | sort -u) || links=""
+        base=$(dirname "$f")
+        oldifs=$IFS
+        IFS='
+'
+        for l in $links; do
+            IFS=$oldifs
+            case "$l" in
+                http://*|https://*|mailto:*) continue ;;
+                '#'*) continue ;;   # in-page anchor
+            esac
+            l=${l%% \"*}            # strip an optional "title"
+            target=${l%%#*}         # strip anchor from relative link
+            [ -n "$target" ] || continue
+            # Resolve against the linking file's directory only — a
+            # repo-root fallback would pass links that render broken.
+            if [ ! -e "$base/$target" ]; then
+                echo "${f#"$root"/}: broken link: $l" >&2
+                st=1
+            fi
+        done
+        IFS=$oldifs
+    done
+    return $st
+}
+
+if [ "${1:-}" = "--selftest" ]; then
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    mkdir -p "$tmp/docs"
+    echo "# A" > "$tmp/docs/A.md"
+    echo "# B" > "$tmp/docs/with space.md"
+    cat > "$tmp/README.md" <<'EOF'
+Good: [a](docs/A.md), [anchor](docs/A.md#a),
+[titled](docs/A.md "design notes"), [spaced](docs/with space.md),
+[ext](https://example.com), [page](#local).
+EOF
+    echo 'Sibling: [a](A.md).' > "$tmp/docs/GOOD.md"
+    if ! check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: clean tree reported broken links" >&2
+        exit 1
+    fi
+    echo '[gone](docs/GONE.md)' >> "$tmp/README.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: broken link not caught" >&2
+        exit 1
+    fi
+    # Regenerate the clean fixture (portable; no in-place sed).
+    cat > "$tmp/README.md" <<'EOF'
+Good: [a](docs/A.md).
+EOF
+    # Root-relative links inside docs/ render broken: must be caught.
+    echo 'Bad: [a](docs/A.md).' > "$tmp/docs/GOOD.md"
+    if check_tree "$tmp" 2>/dev/null; then
+        echo "selftest FAILED: root-relative link in docs/ not caught" >&2
+        exit 1
+    fi
+    echo "markdown links selftest OK"
+    exit 0
+fi
+
+cd "$(dirname "$0")/.."
+if check_tree .; then
+    echo "markdown links OK"
+else
+    exit 1
+fi

@@ -1,0 +1,18 @@
+# Shared by check_docs_refs.sh and check_md_links.sh: the single list
+# of maintained markdown files both checkers scan, so adding the next
+# root document cannot silently fall out of one checker's coverage.
+# Deliberately excluded: ISSUE.md (forward-looking task spec that
+# names files before they exist) and PAPERS.md / SNIPPETS.md
+# (retrieved artifacts quoting other repositories' paths).
+#
+# Usage: maintained_md_files <root>  — prints one path per line
+# (missing entries are skipped).
+maintained_md_files() {
+    _root="$1"
+    for _f in "$_root"/docs/*.md "$_root"/README.md \
+              "$_root"/CHANGES.md "$_root"/ROADMAP.md \
+              "$_root"/PAPER.md; do
+        [ -f "$_f" ] && printf '%s\n' "$_f"
+    done
+    return 0
+}

@@ -68,6 +68,12 @@ struct MonEvent
      *  consuming FADE instance checks this tag (routing invariant). */
     std::uint8_t shard = 0;
 
+    /** Filter unit within the shard's FadeGroup the event was steered
+     *  to (stamped by the group's round-robin steering; 0 in
+     *  single-unit shards). Routes handler completions back to the
+     *  forwarding unit (system/topology.hh). */
+    std::uint8_t unit = 0;
+
     /** Oracle bits propagated from the instruction (tests only). */
     std::uint8_t truth = truthNone;
 

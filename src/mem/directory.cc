@@ -1,0 +1,67 @@
+#include "mem/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+HomeDirectory::HomeDirectory(const DirectoryParams &p) : params_(p)
+{
+    fatal_if(p.clusters == 0, "directory needs >= 1 cluster");
+    fatal_if(p.slice.blockBytes == 0 ||
+                 (p.slice.blockBytes & (p.slice.blockBytes - 1)),
+             "directory: slice block size must be a power of two");
+    blockShift_ = 0;
+    while ((std::uint64_t(1) << blockShift_) < p.slice.blockBytes)
+        ++blockShift_;
+    for (unsigned c = 0; c < p.clusters; ++c) {
+        CacheParams sp = p.slice;
+        sp.name = p.slice.name + ".c" + std::to_string(c);
+        slices_.push_back(
+            std::make_unique<Cache>(sp, nullptr, p.memLatency));
+    }
+}
+
+void
+HomeDirectory::resetStats()
+{
+    for (auto &s : slices_)
+        s->resetStats();
+}
+
+DirectoryPort::DirectoryPort(HomeDirectory &dir, unsigned home)
+    : dir_(dir), my_(home)
+{
+    fatal_if(home >= dir.numSlices(),
+             "directory port: home cluster ", home, " out of range");
+    ports_.resize(dir.numSlices());
+    routeToBase();
+}
+
+void
+DirectoryPort::setSlicePort(unsigned c, MemPort *p)
+{
+    ports_.at(c) = p ? p : &dir_.slice(c);
+}
+
+void
+DirectoryPort::routeToBase()
+{
+    for (unsigned c = 0; c < dir_.numSlices(); ++c)
+        ports_[c] = &dir_.slice(c);
+}
+
+unsigned
+DirectoryPort::access(Addr addr, bool write)
+{
+    unsigned h = dir_.home(addr);
+    unsigned lat = ports_[h]->access(addr, write);
+    if (h == my_) {
+        ++stats_.localAccesses;
+        return lat;
+    }
+    ++stats_.remoteAccesses;
+    return lat + dir_.remoteLatency();
+}
+
+} // namespace fade

@@ -5,10 +5,11 @@
 namespace fade
 {
 
-MonitorProcess::MonitorProcess(Monitor &m, MonitorContext &ctx, Fade *fade,
+MonitorProcess::MonitorProcess(Monitor &m, MonitorContext &ctx,
+                               FadeGroup *fades,
                                BoundedQueue<UnfilteredEvent> *ueq,
                                BoundedQueue<MonEvent> *eq)
-    : mon_(m), ctx_(ctx), fade_(fade), ueq_(ueq), eq_(eq)
+    : mon_(m), ctx_(ctx), fades_(fades), ueq_(ueq), eq_(eq)
 {
     fatal_if(!!ueq == !!eq,
              "MonitorProcess needs exactly one input queue");
@@ -69,10 +70,11 @@ MonitorProcess::onCommit(const Instruction &inst)
     panic_if(head.remaining == 0, "pending handler underflow");
     if (--head.remaining == 0) {
         // Handler complete: apply its functional effects and notify the
-        // accelerator so it can release FSQ entries / unblock.
+        // forwarding filter unit so it can release FSQ entries /
+        // unblock (the event's unit tag routes the completion).
         mon_.handleEvent(head.u, ctx_);
-        if (fade_)
-            fade_->handlerDone(head.u.ev.seq);
+        if (fades_)
+            fades_->handlerDone(head.u.ev);
         ++stats_.handlers;
         pending_.pop_front();
     }

@@ -20,12 +20,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/fade.hh"
 #include "cpu/source.hh"
 #include "isa/event.hh"
 #include "monitor/monitor.hh"
 #include "sim/queue.hh"
 #include "sim/ring.hh"
+#include "system/topology.hh"
 
 namespace fade
 {
@@ -50,13 +50,15 @@ class MonitorProcess : public InstSource, public CommitSink
     /**
      * @param m      the lifeguard
      * @param ctx    canonical metadata state
-     * @param fade   accelerator to notify of completions (may be null)
+     * @param fades  filter-unit group to notify of completions (each
+     *               completion routes to the unit that forwarded the
+     *               event; may be null)
      * @param ueq    unfiltered event queue (accelerated systems)
      * @param eq     raw event queue (unaccelerated systems)
      *
      * Exactly one of @p ueq / @p eq must be non-null.
      */
-    MonitorProcess(Monitor &m, MonitorContext &ctx, Fade *fade,
+    MonitorProcess(Monitor &m, MonitorContext &ctx, FadeGroup *fades,
                    BoundedQueue<UnfilteredEvent> *ueq,
                    BoundedQueue<MonEvent> *eq);
 
@@ -105,7 +107,7 @@ class MonitorProcess : public InstSource, public CommitSink
 
     Monitor &mon_;
     MonitorContext &ctx_;
-    Fade *fade_;
+    FadeGroup *fades_;
     BoundedQueue<UnfilteredEvent> *ueq_;
     BoundedQueue<MonEvent> *eq_;
 

@@ -31,11 +31,30 @@ shardWorkload(const std::vector<BenchProfile> &workloads, unsigned idx)
     return p;
 }
 
-MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
-    : cfg_(cfg), l2_(l2Params(), nullptr, dramLatency)
+namespace
 {
-    fatal_if(cfg_.numShards == 0, "numShards must be >= 1");
+
+DirectoryParams
+directoryParams(const MultiCoreConfig &cfg)
+{
+    DirectoryParams p;
+    p.clusters = cfg.topology.clusters;
+    p.remoteLatency = cfg.topology.remoteLatency;
+    p.slice = l2Params();
+    p.memLatency = dramLatency;
+    return p;
+}
+
+} // namespace
+
+MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
+    : cfg_(cfg), dir_(directoryParams(cfg))
+{
+    // Resolve the cluster shape against numShards (validates that the
+    // shards split evenly across clusters) and make it authoritative.
+    cfg_.numShards = cfg_.topology.resolveShards(cfg_.numShards);
     fatal_if(cfg_.numShards > 256, "shard tag is 8 bits (max 256 shards)");
+    unsigned perCluster = cfg_.numShards / cfg_.topology.clusters;
 
     for (unsigned i = 0; i < cfg_.numShards; ++i) {
         BenchProfile prof = shardWorkload(cfg_.workloads, i);
@@ -48,15 +67,28 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
         SystemConfig scfg = cfg_.shard;
         scfg.shardId = std::uint8_t(i);
         scfg.engine = cfg_.engine;
+        scfg.fadesPerShard = cfg_.topology.fadesPerShard;
+        unsigned cluster = cfg_.topology.clusterOf(i, perCluster);
+        shardClusters_.push_back(cluster);
+        // The shard's nominal L2 is its own cluster's slice; all
+        // L2-bound traffic actually routes through the shard's
+        // DirectoryPort (installed by its ShardRunner) so the home
+        // hash and remote penalty apply from the first access.
         shards_.push_back(std::make_unique<MonitoringSystem>(
-            scfg, prof, monitors_.back().get(), &l2_));
+            scfg, prof, monitors_.back().get(), &dir_.slice(cluster)));
     }
 
     std::vector<MonitoringSystem *> raw;
     for (auto &s : shards_)
         raw.push_back(s.get());
     sched_ = std::make_unique<ShardScheduler>(cfg_.scheduler,
-                                              std::move(raw), l2_);
+                                              std::move(raw), dir_,
+                                              shardClusters_);
+    // Route every shard through its directory port from the start
+    // (construction leaves the L1s pointed straight at the cluster
+    // slice; the port adds home hashing + the remote penalty).
+    for (unsigned i = 0; i < cfg_.numShards; ++i)
+        sched_->runner(i).detach();
 }
 
 MultiCoreSystem::~MultiCoreSystem() = default;
@@ -130,8 +162,20 @@ resultFingerprint(MultiCoreSystem &sys, const MultiCoreResult &r)
     for (unsigned i = 0; i < sys.numShards(); ++i)
         fp.push_back(sys.monitor(i) ? sys.monitor(i)->reports().size()
                                     : 0);
-    fp.push_back(sys.sharedL2().hits());
-    fp.push_back(sys.sharedL2().misses());
+    // Per-slice LLC counters; with one cluster this is exactly the
+    // {hits, misses} pair the flat fingerprint always ended with, so
+    // flat fingerprints stay comparable across the topology refactor.
+    for (unsigned c = 0; c < sys.numClusters(); ++c) {
+        fp.push_back(sys.directory().slice(c).hits());
+        fp.push_back(sys.directory().slice(c).misses());
+    }
+    // Clustered topologies additionally pin the routing decisions.
+    if (sys.numClusters() > 1) {
+        for (const ShardResult &s : r.shards) {
+            fp.push_back(s.l2Local);
+            fp.push_back(s.l2Remote);
+        }
+    }
     return fp;
 }
 
@@ -143,7 +187,7 @@ MultiCoreSystem::warmup(std::uint64_t instructions)
         s->drain();
     for (auto &s : shards_)
         s->resetStats();
-    l2_.resetStats();
+    dir_.resetStats();
 }
 
 MultiCoreResult
@@ -152,10 +196,11 @@ MultiCoreSystem::run(std::uint64_t instructions)
     std::vector<std::size_t> reportsBefore(shards_.size(), 0);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         shards_[i]->beginSlice();
+        sched_->runner(unsigned(i)).resetRouteStats();
         if (monitors_[i])
             reportsBefore[i] = monitors_[i]->reports().size();
     }
-    l2_.resetStats();
+    dir_.resetStats();
 
     sched_->run(instructions, "run");
 
@@ -166,13 +211,17 @@ MultiCoreSystem::run(std::uint64_t instructions)
         sr.shard = unsigned(i);
         sr.workload = workloadNames_[i];
         sr.run = shards_[i]->endSlice();
-        if (shards_[i]->fade())
-            sr.fade = shards_[i]->fade()->stats();
+        sr.fade = shards_[i]->fadeStats();
         sr.filteringRatio = sr.fade.filteringRatio();
         sr.eqOccupancy = shards_[i]->eventQueue().occupancy();
         if (monitors_[i])
             sr.bugReports =
                 monitors_[i]->reports().size() - reportsBefore[i];
+        sr.cluster = shardClusters_[i];
+        const DirectoryPortStats &route =
+            sched_->runner(unsigned(i)).routeStats();
+        sr.l2Local = route.localAccesses;
+        sr.l2Remote = route.remoteAccesses;
 
         agg.cycles = std::max(agg.cycles, sr.run.cycles);
         agg.totalInstructions += sr.run.appInstructions;
@@ -180,6 +229,8 @@ MultiCoreSystem::run(std::uint64_t instructions)
         ipcSum += sr.run.appIpc;
         agg.fade.merge(sr.fade);
         agg.eqOccupancy.merge(sr.eqOccupancy);
+        agg.l2LocalAccesses += sr.l2Local;
+        agg.l2RemoteAccesses += sr.l2Remote;
         agg.shards.push_back(std::move(sr));
     }
     agg.aggregateIpc =

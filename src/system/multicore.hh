@@ -15,6 +15,15 @@
  * runs the unmodified profile, so its results are bit-identical to a
  * standalone MonitoringSystem with a private L2 of the same geometry,
  * for every scheduler policy and slice length.
+ *
+ * MultiCoreConfig::topology generalizes the memory side into a
+ * NUMA-style clustered system (system/topology.hh, mem/directory.hh):
+ * `clusters x shardsPerCluster` shards, each cluster with its own
+ * shared-L2 slice, addresses routed to their home slice by the
+ * directory with a remote-cluster penalty, and optionally K filter
+ * units per shard (FadeGroup). The flat defaults (`clusters = 1,
+ * fadesPerShard = 1`) reproduce the pre-topology system bit for bit
+ * (tests/test_topology.cc, docs/TOPOLOGY.md).
  */
 
 #ifndef FADE_SYSTEM_MULTICORE_HH
@@ -25,8 +34,10 @@
 #include <string>
 #include <vector>
 
+#include "mem/directory.hh"
 #include "system/scheduler.hh"
 #include "system/system.hh"
+#include "system/topology.hh"
 
 namespace fade
 {
@@ -59,6 +70,15 @@ struct MultiCoreConfig
      * changes.
      */
     Engine engine = Engine::PerCycle;
+    /**
+     * Cluster shape: shared-L2 slices, shards per cluster, filter
+     * units per shard, remote-slice penalty (system/topology.hh).
+     * When topology.shardsPerCluster is nonzero it determines the
+     * shard count and numShards is ignored; otherwise numShards is
+     * split evenly across topology.clusters. topology.fadesPerShard
+     * overrides shard.fadesPerShard on every shard, like engine.
+     */
+    Topology topology;
 };
 
 /** One shard's slice of a measured run. */
@@ -73,6 +93,13 @@ struct ShardResult
     Log2Histogram eqOccupancy;
     /** Bug reports raised during the measured slice (not warmup). */
     std::uint64_t bugReports = 0;
+    /** Home cluster of this shard. */
+    unsigned cluster = 0;
+    /** L2-bound accesses routed to the shard's own cluster's slice /
+     *  to a remote slice (remote penalty paid). In the flat 1-cluster
+     *  system every access is local, so l2Remote is always 0. */
+    std::uint64_t l2Local = 0;
+    std::uint64_t l2Remote = 0;
 };
 
 /** Aggregated results of one measured multi-core run. */
@@ -90,10 +117,15 @@ struct MultiCoreResult
     double meanShardIpc = 0.0;
     /** Event-weighted filtering ratio across shards. */
     double filteringRatio = 0.0;
-    /** FADE counters summed over all shards. */
+    /** FADE counters summed over all shards (and, within each shard,
+     *  over its filter units). */
     FadeStats fade;
     /** Event-queue occupancy merged over all shards. */
     Log2Histogram eqOccupancy;
+    /** Directory routing totals (every access is local — remote 0 —
+     *  in the flat 1-cluster system). */
+    std::uint64_t l2LocalAccesses = 0;
+    std::uint64_t l2RemoteAccesses = 0;
 };
 
 /**
@@ -129,8 +161,17 @@ class MultiCoreSystem
     }
     Monitor *monitor(unsigned i) { return monitors_.at(i).get(); }
 
-    /** The shared last-level cache behind all shards. */
-    const Cache &sharedL2() const { return l2_; }
+    /** Shared-L2 slice 0 — the whole shared L2 in the flat 1-cluster
+     *  system; use directory() for the other slices. */
+    const Cache &sharedL2() const { return dir_.slice(0); }
+
+    /** The clustered last-level cache behind all shards. */
+    HomeDirectory &directory() { return dir_; }
+    const HomeDirectory &directory() const { return dir_; }
+
+    unsigned numClusters() const { return dir_.numSlices(); }
+    /** Home cluster of shard @p i. */
+    unsigned clusterOf(unsigned i) const { return shardClusters_.at(i); }
 
     /** The shard scheduler (host-side wall-clock accounting). */
     ShardScheduler &scheduler() { return *sched_; }
@@ -138,7 +179,8 @@ class MultiCoreSystem
 
   private:
     MultiCoreConfig cfg_;
-    Cache l2_;
+    HomeDirectory dir_;
+    std::vector<unsigned> shardClusters_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
     std::vector<std::unique_ptr<MonitoringSystem>> shards_;
     std::vector<std::string> workloadNames_;
@@ -154,11 +196,15 @@ BenchProfile shardWorkload(const std::vector<BenchProfile> &workloads,
 
 /**
  * Every simulated value a measured run produced — aggregate and
- * per-shard results, all FADE counters, occupancy histograms,
- * bug-report counts, shared-L2 hit/miss counters — flattened into one
- * comparable vector. Two runs are bit-identical iff their fingerprints
- * compare equal; the scheduler tests and the fig12 harness both use
- * this to assert ParallelBatched == Lockstep.
+ * per-shard results, all FADE counters (merged over each shard's
+ * filter units), occupancy histograms, bug-report counts, per-slice
+ * LLC hit/miss counters, and (for clustered topologies) per-shard
+ * directory routing counters — flattened into one comparable vector.
+ * The flat 1-cluster layout is unchanged from the pre-topology system,
+ * so flat fingerprints stay comparable across the refactor. Two runs
+ * are bit-identical iff their fingerprints compare equal; the
+ * scheduler/topology tests and the fig12 harness use this to assert
+ * ParallelBatched == Lockstep and batched == per-cycle on every shape.
  */
 std::vector<std::uint64_t> resultFingerprint(MultiCoreSystem &sys,
                                              const MultiCoreResult &r);

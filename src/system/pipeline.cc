@@ -12,7 +12,7 @@ PipelineDriver::PipelineDriver(MonitoringSystem &sys)
     : sys_(sys),
       appCore_(sys.appCore_.get()),
       monCore_(sys.monCore_.get()),
-      fade_(sys.fade_.get()),
+      fades_(sys.fades_.get()),
       eq_(&sys.eq_),
       producer_(sys.producer_.get()),
       mproc_(sys.mproc_.get()),
@@ -52,10 +52,10 @@ PipelineDriver::tryJump(Cycle end, const SrcProbe *appProbes,
                         const SrcProbe *monProbes)
 {
     Cycle now = sys_.now_;
-    FadeStallProfile fp;
+    FadeGroupStallProfile fp;
     fp.active = false;
-    if (fade_) {
-        fp = fade_->stallProfile(now);
+    if (fades_) {
+        fp = fades_->stallProfile(now);
         if (fp.active)
             return false;
     }
@@ -74,7 +74,7 @@ PipelineDriver::tryJump(Cycle end, const SrcProbe *appProbes,
             return false;
         wake = std::min(wake, mw);
     }
-    if (fade_)
+    if (fades_)
         wake = std::min(wake, fp.wakeAt);
     wake = std::min(wake, end);
     if (wake <= now)
@@ -82,8 +82,8 @@ PipelineDriver::tryJump(Cycle end, const SrcProbe *appProbes,
 
     std::uint64_t n = wake - now;
     appCore_->skipCycles(now, n, appProbes);
-    if (fade_)
-        fade_->skipCycles(fp, n);
+    if (fades_)
+        fades_->skipCycles(fp, n);
     if (monCore_)
         monCore_->skipCycles(now, n, monProbes);
     if (perfect_)
@@ -127,8 +127,8 @@ PipelineDriver::runUntil(std::uint64_t maxCycles,
         // Fused step: exactly tickAll()'s component order.
         Cycle now = sys_.now_;
         unsigned act = appCore_->stepCycle(now, appProbes);
-        if (fade_)
-            fade_->tick(now);
+        if (fades_)
+            fades_->tick(now);
         if (monCore_) {
             monProbes[0] = monProbe();
             act += monCore_->stepCycle(now, monProbes);

@@ -93,7 +93,7 @@ class PipelineDriver
     MonitoringSystem &sys_;
     Core *appCore_;
     Core *monCore_;
-    Fade *fade_;
+    FadeGroup *fades_;
     BoundedQueue<MonEvent> *eq_;
     EventProducer *producer_;
     MonitorProcess *mproc_;

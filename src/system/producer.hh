@@ -12,11 +12,11 @@
 
 #include <cstdint>
 
-#include "core/fade.hh"
 #include "cpu/source.hh"
 #include "isa/event.hh"
 #include "monitor/monitor.hh"
 #include "sim/queue.hh"
+#include "system/topology.hh"
 
 namespace fade
 {
@@ -28,12 +28,12 @@ class EventProducer : public CommitSink
     /**
      * @param mon    event-selection policy (null = unmonitored baseline)
      * @param eq     event queue (null = unmonitored baseline)
-     * @param fade   accelerator whose INV RF sees thread switches
+     * @param fades  filter-unit group whose INV RFs see thread switches
      * @param shard  home shard tag stamped into every produced event
      */
-    EventProducer(Monitor *mon, BoundedQueue<MonEvent> *eq, Fade *fade,
-                  std::uint8_t shard = 0)
-        : mon_(mon), eq_(eq), fade_(fade), shard_(shard)
+    EventProducer(Monitor *mon, BoundedQueue<MonEvent> *eq,
+                  FadeGroup *fades, std::uint8_t shard = 0)
+        : mon_(mon), eq_(eq), fades_(fades), shard_(shard)
     {}
 
     bool
@@ -92,9 +92,14 @@ class EventProducer : public CommitSink
     {
         if (seenTid_ && inst.tid != lastTid_) {
             // Context switch: the monitor updates its current-thread
-            // invariant register before the new thread's events flow.
-            mon_->onThreadSwitch(inst.tid,
-                                 fade_ ? &fade_->invRf() : nullptr);
+            // invariant register — in every filter unit, since the
+            // group steers the new thread's events across all of them.
+            if (fades_)
+                for (unsigned u = 0; u < fades_->size(); ++u)
+                    mon_->onThreadSwitch(inst.tid,
+                                         &fades_->unit(u).invRf());
+            else
+                mon_->onThreadSwitch(inst.tid, nullptr);
         }
         lastTid_ = inst.tid;
         seenTid_ = true;
@@ -119,7 +124,7 @@ class EventProducer : public CommitSink
 
     Monitor *mon_;
     BoundedQueue<MonEvent> *eq_;
-    Fade *fade_;
+    FadeGroup *fades_;
     std::uint8_t shard_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t retired_ = 0;

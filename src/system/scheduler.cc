@@ -21,9 +21,12 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 
 } // namespace
 
-ShardRunner::ShardRunner(MonitoringSystem &sys, Cache &sharedL2)
-    : sys_(sys), view_(sharedL2)
+ShardRunner::ShardRunner(MonitoringSystem &sys, HomeDirectory &dir,
+                         unsigned cluster)
+    : sys_(sys), port_(dir, cluster)
 {
+    for (unsigned c = 0; c < dir.numSlices(); ++c)
+        views_.push_back(std::make_unique<SliceL2View>(dir.slice(c)));
 }
 
 void
@@ -42,15 +45,51 @@ ShardRunner::runSlice(std::uint64_t maxTicks)
     ticksUsed_ += sys_.advance(maxTicks, target_);
 }
 
+void
+ShardRunner::commitSlice()
+{
+    for (auto &v : views_)
+        v->commit();
+}
+
+void
+ShardRunner::beginEpoch()
+{
+    for (auto &v : views_)
+        v->beginEpoch();
+}
+
+void
+ShardRunner::attach()
+{
+    for (unsigned c = 0; c < unsigned(views_.size()); ++c)
+        port_.setSlicePort(c, views_[c].get());
+    sys_.setL2Port(&port_);
+}
+
+void
+ShardRunner::detach()
+{
+    // Keep routing through the directory (home hashing + remote
+    // penalty stay in effect for unscheduled work such as drains), but
+    // against the real merged slices.
+    port_.routeToBase();
+    sys_.setL2Port(&port_);
+}
+
 ShardScheduler::ShardScheduler(const SchedulerConfig &cfg,
                                std::vector<MonitoringSystem *> shards,
-                               Cache &l2)
+                               HomeDirectory &dir,
+                               const std::vector<unsigned> &clusters)
     : cfg_(cfg)
 {
     fatal_if(shards.empty(), "scheduler needs >= 1 shard");
+    fatal_if(clusters.size() != shards.size(),
+             "scheduler needs one home cluster per shard");
     fatal_if(cfg_.sliceTicks == 0, "sliceTicks must be >= 1");
-    for (MonitoringSystem *s : shards)
-        runners_.push_back(std::make_unique<ShardRunner>(*s, l2));
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        runners_.push_back(std::make_unique<ShardRunner>(
+            *shards[i], dir, clusters[i]));
 }
 
 ShardScheduler::~ShardScheduler()

@@ -8,14 +8,16 @@
  *
  *  - Each {core, event queue, FADE, MD cache, monitor} shard advances
  *    in bounded slices (SchedulerConfig::sliceTicks cycles per slice).
- *  - Within a slice a shard is fully self-contained: its only shared
- *    structure, the L2, is reached through a per-shard SliceL2View
- *    (mem/cache.hh) that reads a frozen snapshot and logs the shard's
- *    traffic.
- *  - At the slice barrier the scheduler replays every shard's L2 log
- *    into the real L2 in fixed shard order and folds the slice's
- *    hit/miss counts into the shared counters, then rebases all views
- *    on the merged state.
+ *  - Within a slice a shard is fully self-contained: the shared
+ *    last-level cache — one slice per cluster behind the home-node
+ *    directory (mem/directory.hh) — is reached through the shard's
+ *    DirectoryPort routing into one SliceL2View per slice
+ *    (mem/cache.hh), each reading a frozen snapshot and logging the
+ *    shard's traffic.
+ *  - At the slice barrier the scheduler replays every shard's logs
+ *    into the real slices in fixed shard order (slices in index order
+ *    within a shard) and folds the slice's hit/miss counts into the
+ *    shared counters, then rebases all views on the merged state.
  *
  * Determinism argument: a slice's outcome is a pure function of (L2
  * state at the last barrier, the shard's own private state), so the
@@ -45,6 +47,7 @@
 #include <vector>
 
 #include "mem/cache.hh"
+#include "mem/directory.hh"
 #include "sim/stats.hh"
 #include "system/system.hh"
 
@@ -95,7 +98,8 @@ struct SchedulerStats
 };
 
 /**
- * Drives one shard in bounded slices against its SliceL2View. The
+ * Drives one shard in bounded slices against its per-slice
+ * SliceL2Views, reached through the shard's DirectoryPort. The
  * scheduler owns one runner per shard; runSlice() is the only method
  * invoked from worker threads.
  */
@@ -103,10 +107,12 @@ class ShardRunner
 {
   public:
     /**
-     * @param sys       the shard (not owned)
-     * @param sharedL2  the L2 the view overlays
+     * @param sys      the shard (not owned)
+     * @param dir      the clustered LLC the views overlay
+     * @param cluster  the shard's home cluster
      */
-    ShardRunner(MonitoringSystem &sys, Cache &sharedL2);
+    ShardRunner(MonitoringSystem &sys, HomeDirectory &dir,
+                unsigned cluster);
 
     /** Arm a run: retire @p instructions more, with a fresh tick
      *  budget. */
@@ -126,24 +132,35 @@ class ShardRunner
      */
     void runSlice(std::uint64_t maxTicks);
 
-    /** Replay this slice's L2 traffic (barrier; fixed shard order). */
-    void commitSlice() { view_.commit(); }
+    /** Replay this slice's L2 traffic (barrier; fixed shard order,
+     *  slices in index order). */
+    void commitSlice();
 
-    /** Rebase the view on the merged L2 (barrier, after all
+    /** Rebase the views on the merged slices (barrier, after all
      *  commits). */
-    void beginEpoch() { view_.beginEpoch(); }
+    void beginEpoch();
 
-    /** Route the shard's L2 traffic through the view / back to the
-     *  real L2. */
-    void attach() { sys_.setL2Port(&view_); }
-    void detach() { sys_.setL2Port(nullptr); }
+    /**
+     * Route the shard's L2 traffic through the per-slice views / back
+     * to the real slices. Both paths go through the DirectoryPort, so
+     * home routing and the remote-cluster penalty apply identically
+     * inside and outside scheduled runs.
+     */
+    void attach();
+    void detach();
 
     /** Cycles ticked since beginRun() (deadlock accounting). */
     std::uint64_t ticksUsed() const { return ticksUsed_; }
 
+    /** Local/remote slice routing counters of this shard's port. */
+    const DirectoryPortStats &routeStats() const { return port_.stats(); }
+    void resetRouteStats() { port_.resetStats(); }
+
   private:
     MonitoringSystem &sys_;
-    SliceL2View view_;
+    DirectoryPort port_;
+    /** One COW view per LLC slice (index = cluster). */
+    std::vector<std::unique_ptr<SliceL2View>> views_;
     std::uint64_t target_ = 0;
     std::uint64_t ticksUsed_ = 0;
 };
@@ -164,12 +181,16 @@ class ShardScheduler
 {
   public:
     /**
-     * @param cfg     policy, slice length, worker count
-     * @param shards  one MonitoringSystem per shard (not owned)
-     * @param l2      the shared L2 behind all shards
+     * @param cfg       policy, slice length, worker count
+     * @param shards    one MonitoringSystem per shard (not owned)
+     * @param dir       the clustered LLC behind all shards
+     * @param clusters  home cluster of each shard (same length as
+     *                  @p shards)
      */
     ShardScheduler(const SchedulerConfig &cfg,
-                   std::vector<MonitoringSystem *> shards, Cache &l2);
+                   std::vector<MonitoringSystem *> shards,
+                   HomeDirectory &dir,
+                   const std::vector<unsigned> &clusters);
     ~ShardScheduler();
 
     ShardScheduler(const ShardScheduler &) = delete;
@@ -186,6 +207,9 @@ class ShardScheduler
     const SchedulerConfig &config() const { return cfg_; }
     const SchedulerStats &stats() const { return stats_; }
     void resetStats() { stats_ = SchedulerStats{}; }
+
+    /** Shard @p i's runner (route-stat collection). */
+    ShardRunner &runner(unsigned i) { return *runners_.at(i); }
 
     /** Worker threads a parallel epoch uses (1 when sequential). */
     unsigned workerCount() const;

@@ -51,27 +51,30 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
     }
 
     if (mon_ && cfg_.accelerated && !cfg_.perfectConsumer) {
-        fade_ = std::make_unique<Fade>(cfg_.fade, ctx_, l2_);
-        fade_->setShard(cfg_.shardId);
-        fade_->mdCache().setAddrSalt(salt);
-        fade_->bind(&eq_, &ueq_);
-        mon_->programFade(fade_->eventTable(), fade_->invRf());
-        // Non-critical bookkeeping for SUU-handled stack updates.
-        fade_->onStackUpdate = [this](const MonEvent &ev) {
-            UnfilteredEvent u;
-            u.ev = ev;
-            mon_->handleEvent(u, ctx_);
-        };
+        fades_ = std::make_unique<FadeGroup>(cfg_.fadesPerShard,
+                                             cfg_.fade, ctx_, l2_,
+                                             cfg_.shardId);
+        for (unsigned u = 0; u < fades_->size(); ++u) {
+            Fade &f = fades_->unit(u);
+            f.mdCache().setAddrSalt(salt);
+            mon_->programFade(f.eventTable(), f.invRf());
+            // Non-critical bookkeeping for SUU-handled stack updates.
+            f.onStackUpdate = [this](const MonEvent &ev) {
+                UnfilteredEvent u;
+                u.ev = ev;
+                mon_->handleEvent(u, ctx_);
+            };
+        }
+        fades_->bind(&eq_, &ueq_);
     }
 
     producer_ = std::make_unique<EventProducer>(
-        mon_, mon_ ? &eq_ : nullptr, fade_.get(), cfg_.shardId);
+        mon_, mon_ ? &eq_ : nullptr, fades_.get(), cfg_.shardId);
 
     if (mon_ && !cfg_.perfectConsumer) {
         if (cfg_.accelerated) {
-            mproc_ = std::make_unique<MonitorProcess>(*mon_, ctx_,
-                                                      fade_.get(), &ueq_,
-                                                      nullptr);
+            mproc_ = std::make_unique<MonitorProcess>(
+                *mon_, ctx_, fades_.get(), &ueq_, nullptr);
         } else {
             mproc_ = std::make_unique<MonitorProcess>(*mon_, ctx_,
                                                       nullptr, nullptr,
@@ -101,8 +104,8 @@ void
 MonitoringSystem::tickAll()
 {
     appCore_->tick(now_);
-    if (fade_)
-        fade_->tick(now_);
+    if (fades_)
+        fades_->tick(now_);
     if (monCore_)
         monCore_->tick(now_);
     if (cfg_.perfectConsumer && !eq_.empty()) {
@@ -129,7 +132,7 @@ MonitoringSystem::drain()
     auto quiet = [this] {
         if (!eq_.empty() || !ueq_.empty())
             return false;
-        if (fade_ && !fade_->quiesced())
+        if (fades_ && !fades_->quiesced())
             return false;
         if (mproc_ && !mproc_->idle())
             return false;
@@ -147,8 +150,8 @@ MonitoringSystem::setL2Port(MemPort *port)
     MemPort *p = port ? port : l2_;
     appL1_.setNext(p);
     monL1_.setNext(p);
-    if (fade_)
-        fade_->mdCache().setNext(p);
+    if (fades_)
+        fades_->setNext(p);
 }
 
 void
@@ -157,8 +160,8 @@ MonitoringSystem::resetStats()
     appCore_->resetStats();
     if (monCore_)
         monCore_->resetStats();
-    if (fade_)
-        fade_->resetStats();
+    if (fades_)
+        fades_->resetStats();
     if (mproc_)
         mproc_->resetStats();
     producer_->resetStats();
@@ -201,8 +204,8 @@ MonitoringSystem::endSlice()
         r.handlerInstructions = mproc_->stats().instructions;
         r.handlersRun = mproc_->stats().handlers;
     }
-    if (fade_)
-        fade_->finalizeBursts();
+    if (fades_)
+        fades_->finalizeBursts();
     if (mon_)
         mon_->finish();
     return r;

@@ -30,6 +30,7 @@
 #include "monitor/process.hh"
 #include "sim/queue.hh"
 #include "system/producer.hh"
+#include "system/topology.hh"
 #include "trace/generator.hh"
 
 namespace fade
@@ -73,6 +74,15 @@ struct SystemConfig
     std::uint8_t shardId = 0;
     /** Intra-shard execution engine (results are engine-invariant). */
     Engine engine = Engine::PerCycle;
+    /**
+     * Filter units behind this shard's event queue (FadeGroup,
+     * system/topology.hh). 1 = the classic single-FADE shard,
+     * unchanged bit for bit; > 1 adds round-robin event steering
+     * across K units with group-serialized stack/high-level events.
+     * Ignored (no units built) in unaccelerated / perfect-consumer /
+     * unmonitored configurations.
+     */
+    unsigned fadesPerShard = 1;
 };
 
 /**
@@ -175,7 +185,19 @@ class MonitoringSystem
     /** The trace generator (bug injection for examples/tests). */
     TraceGenerator &generator() { return *gen_; }
 
-    Fade *fade() { return fade_.get(); }
+    /** First filter unit, or nullptr when unaccelerated. With
+     *  fadesPerShard > 1 this is unit 0 only — use fadeGroup() /
+     *  fadeStats() for whole-shard filtering state. */
+    Fade *fade() { return fades_ ? &fades_->unit(0) : nullptr; }
+    /** The shard's filter-unit group (nullptr when unaccelerated). */
+    FadeGroup *fadeGroup() { return fades_.get(); }
+    const FadeGroup *fadeGroup() const { return fades_.get(); }
+    /** Filtering counters merged over all units (empty when
+     *  unaccelerated). */
+    FadeStats fadeStats() const
+    {
+        return fades_ ? fades_->stats() : FadeStats{};
+    }
     Monitor *monitor() { return mon_; }
     MonitorContext &context() { return ctx_; }
     const BoundedQueue<MonEvent> &eventQueue() const { return eq_; }
@@ -227,7 +249,7 @@ class MonitoringSystem
     BoundedQueue<MonEvent> eq_;
     BoundedQueue<UnfilteredEvent> ueq_;
 
-    std::unique_ptr<Fade> fade_;
+    std::unique_ptr<FadeGroup> fades_;
     std::unique_ptr<MonitorProcess> mproc_;
     std::unique_ptr<EventProducer> producer_;
 
