@@ -3,21 +3,22 @@
 # the functional-layer fast paths is recorded in-repo. Runs the two
 # micro harnesses (micro_trace: generator ns/instr + container op
 # rates; micro_pipeline: end-to-end engine events/s with the hard
-# bit-equality check) and collects every JSON line they emit into one
-# file. Usage:
+# bit-equality check) plus trace_tool --bench (live vs capture vs
+# replay events/s with the hard replay bit-identity check) and
+# collects every JSON line they emit into one file. Usage:
 #
 #   sh scripts/bench_baseline.sh [builddir] [outfile]
 #
-# Defaults: builddir=build, outfile=BENCH_pr4.json. Numbers are only
+# Defaults: builddir=build, outfile=BENCH_pr6.json. Numbers are only
 # comparable on the same host under the same load — see
 # docs/BENCHMARKS.md for the measurement protocol.
 set -eu
 cd "$(dirname "$0")/.."
 
 builddir=${1:-build}
-out=${2:-BENCH_pr4.json}
+out=${2:-BENCH_pr6.json}
 
-for bin in micro_trace micro_pipeline; do
+for bin in micro_trace micro_pipeline trace_tool; do
     if [ ! -x "$builddir/$bin" ]; then
         echo "missing $builddir/$bin — build first:" >&2
         echo "  cmake -B $builddir -S . && cmake --build $builddir -j" >&2
@@ -35,6 +36,11 @@ done
 
 echo "== micro_pipeline (3 reps inside the harness) =="
 "$builddir/micro_pipeline" | tee -a "$tmp"
+
+echo "== trace_tool --bench (replay vs live, bit-identity checked) =="
+for rep in 1 2 3; do
+    "$builddir/trace_tool" --bench | tee -a "$tmp"
+done
 
 grep '^{' "$tmp" > "$out"
 echo "wrote $(grep -c . "$out") JSON lines to $out"

@@ -19,7 +19,7 @@ set -eu
 . "$(dirname "$0")/lib_md_files.sh"
 
 ref_dirs='src|docs|tests|bench|scripts|examples|\.github'
-ref_exts='cc|hh|cpp|md|sh|yml|txt|json'
+ref_exts='cc|hh|cpp|md|sh|yml|txt|json|ftrace'
 
 # Print every referenced path in $1, one per line, brace forms
 # expanded (`a.{hh,cc}` -> `a.hh` and `a.cc`).

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate the golden trace corpus under tests/golden/.
+#
+# Run this ONLY when the trace format version bumps or a deliberate
+# behavioral change invalidates the recorded fingerprints; commit the
+# regenerated .ftrace files together with the change that required
+# them. CI replays the corpus on every push (trace_tool --verify), and
+# tests/test_tracefile.cc GoldenCorpus checks each file's manifest
+# hash, so a stale corpus fails loudly.
+#
+# Usage: scripts/regen_golden_traces.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+tool="$build/trace_tool"
+
+if [[ ! -x "$tool" ]]; then
+    echo "error: $tool not built (cmake --build $build --target trace_tool)" >&2
+    exit 1
+fi
+
+mkdir -p tests/golden
+
+# Small slices: the corpus exists to pin replay behavior, not to be a
+# benchmark. ~1k warmup + 2k measured instructions per shard keeps each
+# file in the tens of kilobytes and the CI replay under a second.
+warm=1000
+instr=2000
+
+capture() { # name, extra trace_tool args...
+    local name="$1"; shift
+    "$tool" --capture "tests/golden/$name.ftrace" \
+        --warm "$warm" --instr "$instr" "$@"
+}
+
+capture hmmer_memleak_n1    --monitor MemLeak   --profile hmmer
+capture gcc_addrcheck_n4    --monitor AddrCheck --profile gcc   --shards 4
+capture mcf_taintcheck_n1   --monitor TaintCheck --profile mcf
+capture ocean_atomcheck_n2  --monitor AtomCheck --profile ocean --shards 2
+capture astar_memcheck_2x2x2 --monitor MemCheck --profile astar \
+    --shards 4 --clusters 2 --fades 2
+
+"$tool" --verify tests/golden/*.ftrace
+ls -l tests/golden/

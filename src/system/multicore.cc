@@ -56,6 +56,18 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
     fatal_if(cfg_.numShards > 256, "shard tag is 8 bits (max 256 shards)");
     unsigned perCluster = cfg_.numShards / cfg_.topology.clusters;
 
+    if (!cfg_.traceIn.empty()) {
+        reader_ = std::make_unique<TraceReader>(cfg_.traceIn);
+        fatal_if(reader_->numStreams() != cfg_.numShards,
+                 "trace '", cfg_.traceIn, "' holds ",
+                 reader_->numStreams(), " streams but this system has ",
+                 cfg_.numShards, " shards");
+    }
+    if (!cfg_.traceOut.empty()) {
+        writer_ = std::make_unique<TraceWriter>(cfg_.traceOut);
+        writer_->setConfigFingerprint(traceConfigFingerprint(cfg_));
+    }
+
     for (unsigned i = 0; i < cfg_.numShards; ++i) {
         BenchProfile prof = shardWorkload(cfg_.workloads, i);
         workloadNames_.push_back(prof.name);
@@ -68,6 +80,8 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
         scfg.shardId = std::uint8_t(i);
         scfg.engine = cfg_.engine;
         scfg.fadesPerShard = cfg_.topology.fadesPerShard;
+        scfg.traceIn = reader_.get();
+        scfg.traceOut = writer_.get();
         unsigned cluster = cfg_.topology.clusterOf(i, perCluster);
         shardClusters_.push_back(cluster);
         // The shard's nominal L2 is its own cluster's slice; all
@@ -182,6 +196,7 @@ resultFingerprint(MultiCoreSystem &sys, const MultiCoreResult &r)
 void
 MultiCoreSystem::warmup(std::uint64_t instructions)
 {
+    capturedWarmup_ += instructions;
     sched_->run(instructions, "warmup");
     for (auto &s : shards_)
         s->drain();
@@ -193,6 +208,7 @@ MultiCoreSystem::warmup(std::uint64_t instructions)
 MultiCoreResult
 MultiCoreSystem::run(std::uint64_t instructions)
 {
+    capturedRun_ += instructions;
     std::vector<std::size_t> reportsBefore(shards_.size(), 0);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         shards_[i]->beginSlice();
@@ -240,6 +256,125 @@ MultiCoreSystem::run(std::uint64_t instructions)
         shards_.empty() ? 0.0 : ipcSum / double(shards_.size());
     agg.filteringRatio = agg.fade.filteringRatio();
     return agg;
+}
+
+void
+MultiCoreSystem::finishTrace(bool hasResult, std::uint64_t resultHash)
+{
+    panic_if(!writer_, "closeTrace() without an active capture");
+    TraceManifest m;
+    m.present = true;
+    m.monitor = cfg_.monitor;
+    m.warmupInstructions = capturedWarmup_;
+    m.measureInstructions = capturedRun_;
+    m.numShards = cfg_.numShards;
+    m.clusters = cfg_.topology.clusters;
+    m.shardsPerCluster = cfg_.numShards / cfg_.topology.clusters;
+    m.fadesPerShard = cfg_.topology.fadesPerShard;
+    m.remoteLatency = cfg_.topology.remoteLatency;
+    m.sliceTicks = cfg_.scheduler.sliceTicks;
+    m.eqCapacity = cfg_.shard.eqCapacity;
+    m.ueqCapacity = cfg_.shard.ueqCapacity;
+    m.coreName = cfg_.shard.core.name;
+    m.coreWidth = cfg_.shard.core.width;
+    m.robSize = cfg_.shard.core.robSize;
+    m.inOrder = cfg_.shard.core.inOrder;
+    m.mispredictPenalty = cfg_.shard.core.mispredictPenalty;
+    m.accelerated = cfg_.shard.accelerated;
+    m.twoCore = cfg_.shard.twoCore;
+    m.perfectConsumer = cfg_.shard.perfectConsumer;
+    m.hasFingerprint = hasResult;
+    m.fingerprintHash = resultHash;
+    writer_->setManifest(m);
+    writer_->close();
+}
+
+void
+MultiCoreSystem::closeTrace()
+{
+    finishTrace(false, 0);
+}
+
+void
+MultiCoreSystem::closeTrace(std::uint64_t resultHash)
+{
+    finishTrace(true, resultHash);
+}
+
+std::uint64_t
+traceConfigFingerprint(const MultiCoreConfig &cfg)
+{
+    std::vector<std::uint64_t> v;
+    auto str = [&v](const std::string &s) {
+        v.push_back(s.size());
+        for (char c : s)
+            v.push_back(std::uint8_t(c));
+    };
+    v.push_back(cfg.numShards);
+    v.push_back(cfg.topology.clusters);
+    v.push_back(cfg.topology.shardsPerCluster);
+    v.push_back(cfg.topology.fadesPerShard);
+    v.push_back(cfg.topology.remoteLatency);
+    v.push_back(cfg.scheduler.sliceTicks);
+    v.push_back(cfg.shard.eqCapacity);
+    v.push_back(cfg.shard.ueqCapacity);
+    str(cfg.shard.core.name);
+    v.push_back(cfg.shard.core.width);
+    v.push_back(cfg.shard.core.robSize);
+    v.push_back(cfg.shard.core.inOrder);
+    v.push_back(cfg.shard.core.mispredictPenalty);
+    v.push_back(cfg.shard.accelerated);
+    v.push_back(cfg.shard.twoCore);
+    v.push_back(cfg.shard.perfectConsumer);
+    str(cfg.monitor);
+    for (const BenchProfile &p : cfg.workloads) {
+        str(p.name);
+        v.push_back(p.seed);
+        v.push_back(p.numThreads);
+    }
+    return fingerprintHash(v);
+}
+
+MultiCoreConfig
+replayConfig(const std::string &path)
+{
+    TraceReader r(path);
+    const TraceManifest &m = r.manifest();
+    if (!m.present)
+        throw TraceError("'" + path + "' carries no replay manifest "
+                         "(capture was not finished with closeTrace)");
+
+    MultiCoreConfig cfg;
+    cfg.traceIn = path;
+    cfg.monitor = m.monitor;
+    cfg.numShards = unsigned(m.numShards);
+    cfg.topology.clusters = unsigned(m.clusters);
+    cfg.topology.shardsPerCluster = unsigned(m.shardsPerCluster);
+    cfg.topology.fadesPerShard = unsigned(m.fadesPerShard);
+    cfg.topology.remoteLatency = unsigned(m.remoteLatency);
+    cfg.scheduler.sliceTicks = m.sliceTicks;
+    cfg.shard.eqCapacity = std::size_t(m.eqCapacity);
+    cfg.shard.ueqCapacity = std::size_t(m.ueqCapacity);
+    cfg.shard.core.name = m.coreName;
+    cfg.shard.core.width = unsigned(m.coreWidth);
+    cfg.shard.core.robSize = unsigned(m.robSize);
+    cfg.shard.core.inOrder = m.inOrder;
+    cfg.shard.core.mispredictPenalty = unsigned(m.mispredictPenalty);
+    cfg.shard.accelerated = m.accelerated;
+    cfg.shard.twoCore = m.twoCore;
+    cfg.shard.perfectConsumer = m.perfectConsumer;
+    // One workload per stream, exactly as captured. Repeated profiles
+    // were renamed/reseeded at capture time (shardWorkload), so the
+    // reconstructed list round-trips through shardWorkload verbatim.
+    for (unsigned s = 0; s < r.numStreams(); ++s) {
+        const TraceStreamMeta &sm = r.stream(s);
+        BenchProfile p;
+        p.name = sm.profile;
+        p.seed = sm.seed;
+        p.numThreads = sm.numThreads;
+        cfg.workloads.push_back(std::move(p));
+    }
+    return cfg;
 }
 
 } // namespace fade

@@ -38,6 +38,7 @@
 #include "system/scheduler.hh"
 #include "system/system.hh"
 #include "system/topology.hh"
+#include "trace/tracefile.hh"
 
 namespace fade
 {
@@ -79,6 +80,21 @@ struct MultiCoreConfig
      * overrides shard.fadesPerShard on every shard, like engine.
      */
     Topology topology;
+    /**
+     * Replay: drive every shard from this captured trace file instead
+     * of live generators ("" = live). Stream i feeds shard i; the
+     * trace must hold exactly numShards streams and the workload list
+     * must match the captured streams — replayConfig() reconstructs a
+     * matching config from the trace itself.
+     */
+    std::string traceIn;
+    /**
+     * Capture: tee every shard's application stream to this trace
+     * file ("" = no capture). Finish the file with closeTrace() after
+     * the measured run; a writer torn down without it still produces
+     * a readable trace, but without the replay manifest.
+     */
+    std::string traceOut;
 };
 
 /** One shard's slice of a measured run. */
@@ -177,8 +193,31 @@ class MultiCoreSystem
     ShardScheduler &scheduler() { return *sched_; }
     const ShardScheduler &scheduler() const { return *sched_; }
 
+    /** The capture writer (nullptr when traceOut is empty). */
+    TraceWriter *traceWriter() { return writer_.get(); }
+    /** The replay reader (nullptr when traceIn is empty). */
+    const TraceReader *traceReader() const { return reader_.get(); }
+
+    /**
+     * Finish a capture (traceOut configured): write the replay
+     * manifest — the warmup/measure instruction counts driven so far
+     * and every result-affecting knob — into the footer and close the
+     * file. The overload records @p resultHash (fingerprintHash() of
+     * the measured run) so replays can be hard-checked against the
+     * capture (`trace_tool --verify`).
+     */
+    void closeTrace();
+    void closeTrace(std::uint64_t resultHash);
+
   private:
+    void finishTrace(bool hasResult, std::uint64_t resultHash);
+
     MultiCoreConfig cfg_;
+    std::unique_ptr<TraceReader> reader_;
+    std::unique_ptr<TraceWriter> writer_;
+    /** Instructions driven so far (recorded in the capture manifest). */
+    std::uint64_t capturedWarmup_ = 0;
+    std::uint64_t capturedRun_ = 0;
     HomeDirectory dir_;
     std::vector<unsigned> shardClusters_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
@@ -208,6 +247,28 @@ BenchProfile shardWorkload(const std::vector<BenchProfile> &workloads,
  */
 std::vector<std::uint64_t> resultFingerprint(MultiCoreSystem &sys,
                                              const MultiCoreResult &r);
+
+/**
+ * Hash of the result-affecting capture configuration, stamped into the
+ * trace header at capture time. Engine, scheduler policy, and host
+ * thread count are deliberately excluded: they are proven
+ * result-invariant (tests/test_scheduler.cc, test_pipeline.cc), so a
+ * trace captured under any of them replays under all of them.
+ */
+std::uint64_t traceConfigFingerprint(const MultiCoreConfig &cfg);
+
+/**
+ * Reconstruct the run configuration of a captured trace from its
+ * manifest and per-stream metadata: shape, monitor, queue/core knobs,
+ * and one workload entry per stream (name/seed/threads exactly as
+ * captured — the behavioural profile fields are irrelevant under
+ * replay, where no generator runs). The returned config has traceIn
+ * set, so constructing a MultiCoreSystem from it replays the capture;
+ * drive it with the manifest's warmup/measure instruction counts to
+ * reproduce the recorded run bit for bit. Throws TraceError when the
+ * file is unreadable or carries no manifest.
+ */
+MultiCoreConfig replayConfig(const std::string &path);
 
 } // namespace fade
 

@@ -50,6 +50,11 @@ ShardRunner::commitSlice()
 {
     for (auto &v : views_)
         v->commit();
+    // Trace-capture block boundaries land on slice barriers: this runs
+    // on one thread in fixed shard order, so the byte stream of a
+    // captured trace is identical for every scheduler policy and
+    // worker count.
+    sys_.flushCapture();
 }
 
 void

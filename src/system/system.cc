@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "system/pipeline.hh"
+#include "trace/tracefile.hh"
 
 namespace fade
 {
@@ -43,11 +44,54 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
     appL1_.setAddrSalt(salt);
     monL1_.setAddrSalt(salt);
 
-    gen_ = std::make_unique<TraceGenerator>(profile);
+    // The application instruction source: a captured trace stream when
+    // replaying, the synthetic generator otherwise, optionally teed to
+    // a capture file. The core sees one InstSource either way, and the
+    // capture tee forwards every call verbatim, so neither mode
+    // perturbs timing or the generator's RNG draw order.
+    InstSource *appSrc = nullptr;
+    WorkloadLayout layout;
+    if (cfg_.traceIn) {
+        fatal_if(cfg_.shardId >= cfg_.traceIn->numStreams(),
+                 "trace '", cfg_.traceIn->path(), "' has ",
+                 cfg_.traceIn->numStreams(), " streams, no stream for "
+                 "shard ", unsigned(cfg_.shardId));
+        const TraceStreamMeta &m = cfg_.traceIn->stream(cfg_.shardId);
+        fatal_if(m.profile != profile.name || m.seed != profile.seed ||
+                     m.numThreads != profile.numThreads,
+                 "trace stream ", unsigned(cfg_.shardId),
+                 " was captured from workload '", m.profile, "' (seed ",
+                 m.seed, ", ", m.numThreads, " threads) but this shard "
+                 "runs '", profile.name, "' (seed ", profile.seed, ", ",
+                 profile.numThreads, " threads)");
+        replay_ = std::make_unique<ReplaySource>(*cfg_.traceIn,
+                                                 cfg_.shardId);
+        appSrc = replay_.get();
+        layout = m.layout;
+    } else {
+        gen_ = std::make_unique<TraceGenerator>(profile);
+        appSrc = gen_.get();
+        layout = gen_->layout();
+    }
+    if (cfg_.traceOut) {
+        TraceStreamMeta meta;
+        meta.profile = profile.name;
+        meta.seed = profile.seed;
+        meta.numThreads = profile.numThreads;
+        meta.layout = layout;
+        unsigned sid = cfg_.traceOut->addStream(meta);
+        panic_if(sid != cfg_.shardId,
+                 "capture stream ", sid, " registered for shard ",
+                 unsigned(cfg_.shardId),
+                 " (shards built out of order?)");
+        capture_ = std::make_unique<CaptureSource>(*appSrc,
+                                                   *cfg_.traceOut, sid);
+        appSrc = capture_.get();
+    }
 
     if (mon_) {
         ctx_.regMd.fill(mon_->regMdInit());
-        mon_->initShadow(ctx_, gen_->layout());
+        mon_->initShadow(ctx_, layout);
     }
 
     if (mon_ && cfg_.accelerated && !cfg_.perfectConsumer) {
@@ -84,12 +128,12 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
 
     if (cfg_.twoCore && mproc_) {
         appCore_ = std::make_unique<Core>(cfg_.core, &appL1_);
-        appCore_->addThread(gen_.get(), producer_.get());
+        appCore_->addThread(appSrc, producer_.get());
         monCore_ = std::make_unique<Core>(cfg_.core, &monL1_);
         monCore_->addThread(mproc_.get(), mproc_.get());
     } else {
         appCore_ = std::make_unique<Core>(cfg_.core, &appL1_);
-        appCore_->addThread(gen_.get(), producer_.get());
+        appCore_->addThread(appSrc, producer_.get());
         if (mproc_)
             appCore_->addThread(mproc_.get(), mproc_.get());
     }
@@ -99,6 +143,20 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
 }
 
 MonitoringSystem::~MonitoringSystem() = default;
+
+TraceGenerator &
+MonitoringSystem::generator()
+{
+    panic_if(!gen_, "no trace generator (replay-driven system)");
+    return *gen_;
+}
+
+void
+MonitoringSystem::flushCapture()
+{
+    if (capture_)
+        capture_->flush();
+}
 
 void
 MonitoringSystem::tickAll()

@@ -36,7 +36,11 @@
 namespace fade
 {
 
+class CaptureSource;
 class PipelineDriver;
+class ReplaySource;
+class TraceReader;
+class TraceWriter;
 
 /**
  * Intra-shard execution engine. Both engines produce bit-identical
@@ -83,6 +87,21 @@ struct SystemConfig
      * unmonitored configurations.
      */
     unsigned fadesPerShard = 1;
+    /**
+     * Replay: serve the application instruction stream from stream
+     * `shardId` of this captured trace (trace/tracefile.hh) instead of
+     * synthesizing it — no TraceGenerator is built, and the stream's
+     * recorded workload must match the profile the system is given
+     * (fatal on mismatch). Not owned.
+     */
+    const TraceReader *traceIn = nullptr;
+    /**
+     * Capture: tee the application stream to stream `shardId` of this
+     * writer (the system registers the stream during construction, so
+     * shards must be built in shard-id order). Composes with traceIn
+     * (re-capturing a replay). Not owned.
+     */
+    TraceWriter *traceOut = nullptr;
 };
 
 /**
@@ -182,8 +201,18 @@ class MonitoringSystem
     /** Zero every statistics counter in the system. */
     void resetStats();
 
-    /** The trace generator (bug injection for examples/tests). */
-    TraceGenerator &generator() { return *gen_; }
+    /** The trace generator (bug injection for examples/tests).
+     *  Panics on a replay-driven system, which has none. */
+    TraceGenerator &generator();
+
+    /** The replay source, or nullptr when generating live. */
+    ReplaySource *replaySource() { return replay_.get(); }
+
+    /** Emit this shard's buffered capture records as one trace block
+     *  (no-op without capture). The shard scheduler calls this at
+     *  every slice barrier so captured files are byte-identical
+     *  across scheduler policies and worker counts. */
+    void flushCapture();
 
     /** First filter unit, or nullptr when unaccelerated. With
      *  fadesPerShard > 1 this is unit 0 only — use fadeGroup() /
@@ -246,6 +275,9 @@ class MonitoringSystem
     Cache monL1_;
 
     std::unique_ptr<TraceGenerator> gen_;
+    /** Trace-driven replacements/decorators of gen_ (traceIn/Out). */
+    std::unique_ptr<ReplaySource> replay_;
+    std::unique_ptr<CaptureSource> capture_;
     BoundedQueue<MonEvent> eq_;
     BoundedQueue<UnfilteredEvent> ueq_;
 

@@ -1,0 +1,767 @@
+/**
+ * @file
+ * Trace file encoding and decoding. See tracefile.hh for the format
+ * contract; this file owns the wire details: LEB128 varints, zigzag
+ * deltas, the per-record flag layout, CRC32, and the structural
+ * validation the reader performs before any cursor runs.
+ */
+
+#include "trace/tracefile.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace fade
+{
+
+namespace
+{
+
+const char headMagic[8] = {'F', 'A', 'D', 'E', 'T', 'R', 'C', '1'};
+const char endMagic[8] = {'F', 'A', 'D', 'E', 'E', 'N', 'D', '1'};
+
+constexpr std::uint8_t tagBlock = 0x01;
+constexpr std::uint8_t tagFooter = 0x02;
+
+/**
+ * Per-record flag bytes. flags0 packs the two enums plus the branch
+ * outcome; flags1 is bools and presence bits. Presence bits are
+ * derived purely from field values (a field at its default is simply
+ * absent), so encode(decode(x)) == x field for field.
+ */
+constexpr std::uint8_t f1HasDst = 1 << 0;
+constexpr std::uint8_t f1MayPropagate = 1 << 1;
+constexpr std::uint8_t f1HasRegs = 1 << 2;
+constexpr std::uint8_t f1HasMem = 1 << 3;
+constexpr std::uint8_t f1HasFrame = 1 << 4;
+constexpr std::uint8_t f1HasTruth = 1 << 5;
+constexpr std::uint8_t f1TidChanged = 1 << 6;
+constexpr std::uint8_t f1Reserved = 1 << 7;
+
+/** IEEE CRC32 (reflected, poly 0xEDB88320), table-driven. */
+const std::uint32_t *
+crcTable()
+{
+    static const auto table = [] {
+        static std::uint32_t t[256];
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t
+crc32(const std::uint8_t *p, std::size_t n)
+{
+    const std::uint32_t *t = crcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+/**
+ * Zigzag over two's-complement deltas held in uint64 (all delta
+ * arithmetic stays unsigned-wrapping, so extreme addresses — 0,
+ * 2^64 - 1 — never hit signed overflow).
+ */
+std::uint64_t
+zigzag(std::uint64_t v)
+{
+    return (v << 1) ^ ((v >> 63) ? ~std::uint64_t(0) : 0);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t v)
+{
+    return (v >> 1) ^ ((v & 1) ? ~std::uint64_t(0) : 0);
+}
+
+/** Byte-buffer encoder (LEB128 varints + fixed-width words). */
+struct Enc
+{
+    std::vector<std::uint8_t> out;
+
+    void u8(std::uint8_t v) { out.push_back(v); }
+
+    void
+    varint(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            out.push_back(std::uint8_t(v) | 0x80);
+            v >>= 7;
+        }
+        out.push_back(std::uint8_t(v));
+    }
+
+    /** Two's-complement delta in a uint64. */
+    void svarint(std::uint64_t delta) { varint(zigzag(delta)); }
+
+    void
+    fixed32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    void
+    fixed64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(std::uint8_t(v >> (8 * i)));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        varint(s.size());
+        out.insert(out.end(), s.begin(), s.end());
+    }
+};
+
+/** Bounds-checked decoder over a byte range; throws TraceError on any
+ *  overrun or malformed varint instead of reading past the end. */
+struct Dec
+{
+    const std::uint8_t *p;
+    const std::uint8_t *end;
+    const char *what; ///< region name for diagnostics
+
+    Dec(const std::uint8_t *begin, std::size_t n, const char *region)
+        : p(begin), end(begin + n), what(region)
+    {}
+
+    std::size_t remaining() const { return std::size_t(end - p); }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw TraceError("trace " + std::string(what) + ": " + msg);
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (p == end)
+            fail("truncated (need 1 byte)");
+        return *p++;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (p == end)
+                fail("truncated varint");
+            std::uint8_t b = *p++;
+            v |= std::uint64_t(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return v;
+        }
+        fail("varint longer than 64 bits");
+    }
+
+    /** Two's-complement delta in a uint64. */
+    std::uint64_t svarint() { return unzigzag(varint()); }
+
+    std::uint32_t
+    fixed32()
+    {
+        if (remaining() < 4)
+            fail("truncated u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= std::uint32_t(*p++) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    fixed64()
+    {
+        if (remaining() < 8)
+            fail("truncated u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= std::uint64_t(*p++) << (8 * i);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = varint();
+        if (n > remaining())
+            fail("truncated string");
+        std::string s(reinterpret_cast<const char *>(p), std::size_t(n));
+        p += n;
+        return s;
+    }
+};
+
+/** Delta state, reset at every block boundary so blocks decode
+ *  independently. */
+struct DeltaState
+{
+    Addr pc = 0;
+    Addr memAddr = 0;
+    Addr frameBase = 0;
+    ThreadId tid = 0;
+};
+
+void
+encodeRecord(Enc &e, DeltaState &d, const Instruction &in)
+{
+    bool hasRegs = in.src1 || in.src2 || in.numSrc || in.dst;
+    bool hasMem = in.memAddr != 0 || in.memSize != 4;
+    bool hasFrame = in.frameBytes != 0 || in.frameBase != 0;
+    bool hasTruth = in.truth != truthNone;
+    bool tidChanged = in.tid != d.tid;
+
+    std::uint8_t flags0 = std::uint8_t(in.cls) |
+                          (std::uint8_t(in.hlKind) << 4) |
+                          (in.mispredict ? 0x80 : 0);
+    std::uint8_t flags1 = (in.hasDst ? f1HasDst : 0) |
+                          (in.mayPropagate ? f1MayPropagate : 0) |
+                          (hasRegs ? f1HasRegs : 0) |
+                          (hasMem ? f1HasMem : 0) |
+                          (hasFrame ? f1HasFrame : 0) |
+                          (hasTruth ? f1HasTruth : 0) |
+                          (tidChanged ? f1TidChanged : 0);
+
+    e.u8(flags0);
+    e.u8(flags1);
+    e.svarint(in.pc - d.pc);
+    d.pc = in.pc;
+    if (hasRegs) {
+        e.u8(in.src1);
+        e.u8(in.src2);
+        e.u8(in.numSrc);
+        e.u8(in.dst);
+    }
+    if (hasMem) {
+        e.svarint(in.memAddr - d.memAddr);
+        d.memAddr = in.memAddr;
+        e.u8(in.memSize);
+    }
+    if (hasFrame) {
+        e.varint(in.frameBytes);
+        e.svarint(in.frameBase - d.frameBase);
+        d.frameBase = in.frameBase;
+    }
+    if (hasTruth)
+        e.u8(in.truth);
+    if (tidChanged) {
+        e.u8(in.tid);
+        d.tid = in.tid;
+    }
+}
+
+void
+decodeRecord(Dec &d, DeltaState &st, Instruction &out)
+{
+    std::uint8_t flags0 = d.u8();
+    std::uint8_t flags1 = d.u8();
+    if (flags1 & f1Reserved)
+        d.fail("reserved record flag set");
+
+    std::uint8_t cls = flags0 & 0x0F;
+    std::uint8_t hl = (flags0 >> 4) & 0x07;
+    if (cls >= std::uint8_t(InstClass::NumClasses))
+        d.fail("invalid instruction class " + std::to_string(cls));
+    if (hl > std::uint8_t(EventKind::TaintSource))
+        d.fail("invalid high-level event kind " + std::to_string(hl));
+
+    out = Instruction{};
+    out.cls = InstClass(cls);
+    out.hlKind = EventKind(hl);
+    out.mispredict = (flags0 & 0x80) != 0;
+    out.hasDst = (flags1 & f1HasDst) != 0;
+    out.mayPropagate = (flags1 & f1MayPropagate) != 0;
+
+    st.pc += d.svarint();
+    out.pc = st.pc;
+    if (flags1 & f1HasRegs) {
+        out.src1 = d.u8();
+        out.src2 = d.u8();
+        out.numSrc = d.u8();
+        out.dst = d.u8();
+    }
+    if (flags1 & f1HasMem) {
+        st.memAddr += d.svarint();
+        out.memAddr = st.memAddr;
+        out.memSize = d.u8();
+    }
+    if (flags1 & f1HasFrame) {
+        std::uint64_t fb = d.varint();
+        if (fb > 0xFFFFFFFFull)
+            d.fail("frame size exceeds 32 bits");
+        out.frameBytes = std::uint32_t(fb);
+        st.frameBase += d.svarint();
+        out.frameBase = st.frameBase;
+    }
+    if (flags1 & f1HasTruth)
+        out.truth = d.u8();
+    if (flags1 & f1TidChanged)
+        st.tid = d.u8();
+    out.tid = st.tid;
+}
+
+void
+encodeManifest(Enc &e, const TraceManifest &m)
+{
+    e.u8(m.present ? 1 : 0);
+    if (!m.present)
+        return;
+    e.str(m.monitor);
+    e.varint(m.warmupInstructions);
+    e.varint(m.measureInstructions);
+    e.varint(m.numShards);
+    e.varint(m.clusters);
+    e.varint(m.shardsPerCluster);
+    e.varint(m.fadesPerShard);
+    e.varint(m.remoteLatency);
+    e.varint(m.sliceTicks);
+    e.varint(m.eqCapacity);
+    e.varint(m.ueqCapacity);
+    e.str(m.coreName);
+    e.varint(m.coreWidth);
+    e.varint(m.robSize);
+    e.u8(m.inOrder ? 1 : 0);
+    e.varint(m.mispredictPenalty);
+    e.u8((m.accelerated ? 1 : 0) | (m.twoCore ? 2 : 0) |
+         (m.perfectConsumer ? 4 : 0));
+    e.u8(m.hasFingerprint ? 1 : 0);
+    if (m.hasFingerprint)
+        e.fixed64(m.fingerprintHash);
+}
+
+TraceManifest
+decodeManifest(Dec &d)
+{
+    TraceManifest m;
+    std::uint8_t present = d.u8();
+    if (present > 1)
+        d.fail("invalid manifest presence byte");
+    m.present = present != 0;
+    if (!m.present)
+        return m;
+    m.monitor = d.str();
+    m.warmupInstructions = d.varint();
+    m.measureInstructions = d.varint();
+    m.numShards = d.varint();
+    m.clusters = d.varint();
+    m.shardsPerCluster = d.varint();
+    m.fadesPerShard = d.varint();
+    m.remoteLatency = d.varint();
+    m.sliceTicks = d.varint();
+    m.eqCapacity = d.varint();
+    m.ueqCapacity = d.varint();
+    m.coreName = d.str();
+    m.coreWidth = d.varint();
+    m.robSize = d.varint();
+    m.inOrder = d.u8() != 0;
+    m.mispredictPenalty = d.varint();
+    std::uint8_t sys = d.u8();
+    if (sys & ~0x07)
+        d.fail("invalid manifest system flags");
+    m.accelerated = (sys & 1) != 0;
+    m.twoCore = (sys & 2) != 0;
+    m.perfectConsumer = (sys & 4) != 0;
+    std::uint8_t hasFp = d.u8();
+    if (hasFp > 1)
+        d.fail("invalid manifest fingerprint flag");
+    m.hasFingerprint = hasFp != 0;
+    if (m.hasFingerprint)
+        m.fingerprintHash = d.fixed64();
+    return m;
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintHash(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint64_t w : v)
+        for (int b = 0; b < 8; ++b) {
+            h ^= (w >> (8 * b)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    return h;
+}
+
+//
+// TraceWriter
+//
+
+TraceWriter::TraceWriter(const std::string &path) : path_(path)
+{
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        throw TraceError("cannot open '" + path + "' for writing");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (closed_)
+        return;
+    try {
+        close();
+    } catch (const TraceError &e) {
+        warn("trace writer shutdown: ", e.what());
+    }
+}
+
+unsigned
+TraceWriter::addStream(const TraceStreamMeta &meta)
+{
+    panic_if(headerWritten_, "trace stream added after first record");
+    streams_.push_back(Stream{meta, {}, 0});
+    return unsigned(streams_.size() - 1);
+}
+
+void
+TraceWriter::setConfigFingerprint(std::uint64_t fp)
+{
+    panic_if(headerWritten_, "trace config fingerprint set after header");
+    configFp_ = fp;
+}
+
+void
+TraceWriter::writeBytes(const void *p, std::size_t n)
+{
+    if (std::fwrite(p, 1, n, f_) != n)
+        throw TraceError("short write to '" + path_ + "'");
+}
+
+void
+TraceWriter::writeHeader()
+{
+    writeBytes(headMagic, sizeof(headMagic));
+    Enc e;
+    e.varint(traceFormatVersion);
+    e.varint(streams_.size());
+    for (const Stream &s : streams_) {
+        e.str(s.meta.profile);
+        e.varint(s.meta.seed);
+        e.varint(s.meta.numThreads);
+        e.varint(s.meta.layout.globalBase);
+        e.varint(s.meta.layout.globalLen);
+        e.varint(s.meta.layout.stackBase);
+        e.varint(s.meta.layout.stackLen);
+    }
+    e.fixed64(configFp_);
+    std::uint32_t crc = crc32(e.out.data(), e.out.size());
+    e.fixed32(crc);
+    writeBytes(e.out.data(), e.out.size());
+    headerWritten_ = true;
+}
+
+void
+TraceWriter::append(unsigned stream, const Instruction &inst)
+{
+    panic_if(stream >= streams_.size(), "trace append to unknown stream ",
+             stream);
+    Stream &s = streams_[stream];
+    s.buf.push_back(inst);
+    if (s.buf.size() >= maxBlockRecords)
+        flush(stream);
+}
+
+void
+TraceWriter::flush(unsigned stream)
+{
+    panic_if(stream >= streams_.size(), "trace flush of unknown stream ",
+             stream);
+    Stream &s = streams_[stream];
+    if (s.buf.empty())
+        return;
+
+    Enc payload;
+    DeltaState d;
+    for (const Instruction &inst : s.buf)
+        encodeRecord(payload, d, inst);
+
+    Enc block;
+    block.u8(tagBlock);
+    block.varint(stream);
+    block.varint(s.buf.size());
+    block.varint(payload.out.size());
+
+    std::uint32_t crc = crc32(payload.out.data(), payload.out.size());
+
+    {
+        std::lock_guard<std::mutex> lock(fileMutex_);
+        if (!headerWritten_)
+            writeHeader();
+        writeBytes(block.out.data(), block.out.size());
+        writeBytes(payload.out.data(), payload.out.size());
+        Enc tail;
+        tail.fixed32(crc);
+        writeBytes(tail.out.data(), tail.out.size());
+    }
+
+    s.records += s.buf.size();
+    s.buf.clear();
+}
+
+void
+TraceWriter::setManifest(const TraceManifest &m)
+{
+    manifest_ = m;
+}
+
+std::uint64_t
+TraceWriter::records(unsigned stream) const
+{
+    panic_if(stream >= streams_.size(), "trace records of unknown stream ",
+             stream);
+    const Stream &s = streams_[stream];
+    return s.records + s.buf.size();
+}
+
+void
+TraceWriter::close()
+{
+    panic_if(closed_, "trace writer closed twice");
+    for (unsigned i = 0; i < streams_.size(); ++i)
+        flush(i);
+    if (!headerWritten_)
+        writeHeader();
+
+    Enc body;
+    body.varint(streams_.size());
+    for (const Stream &s : streams_)
+        body.varint(s.records);
+    encodeManifest(body, manifest_);
+
+    Enc footer;
+    footer.u8(tagFooter);
+    footer.out.insert(footer.out.end(), body.out.begin(), body.out.end());
+    footer.fixed32(crc32(body.out.data(), body.out.size()));
+    writeBytes(footer.out.data(), footer.out.size());
+    writeBytes(endMagic, sizeof(endMagic));
+
+    if (std::fclose(f_) != 0) {
+        f_ = nullptr;
+        closed_ = true;
+        throw TraceError("error closing '" + path_ + "'");
+    }
+    f_ = nullptr;
+    closed_ = true;
+}
+
+//
+// TraceReader
+//
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw TraceError("cannot open '" + path + "' for reading");
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+        std::fclose(f);
+        throw TraceError("cannot size '" + path + "'");
+    }
+    bytes_.resize(std::size_t(size));
+    std::size_t got = bytes_.empty()
+                          ? 0
+                          : std::fread(bytes_.data(), 1, bytes_.size(), f);
+    std::fclose(f);
+    if (got != bytes_.size())
+        throw TraceError("short read from '" + path + "'");
+
+    if (bytes_.size() < sizeof(headMagic) ||
+        std::memcmp(bytes_.data(), headMagic, sizeof(headMagic)) != 0)
+        throw TraceError("'" + path + "' is not a FADE trace (bad magic)");
+
+    Dec d(bytes_.data() + sizeof(headMagic),
+          bytes_.size() - sizeof(headMagic), "header");
+
+    // Header: parse, then CRC-check the exact bytes just consumed.
+    const std::uint8_t *headerStart = d.p;
+    std::uint64_t version = d.varint();
+    if (version != traceFormatVersion)
+        throw TraceError("unsupported trace version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(traceFormatVersion) + ")");
+    version_ = std::uint32_t(version);
+    std::uint64_t nstreams = d.varint();
+    if (nstreams == 0 || nstreams > 4096)
+        d.fail("implausible stream count " + std::to_string(nstreams));
+    for (std::uint64_t i = 0; i < nstreams; ++i) {
+        TraceStreamMeta m;
+        m.profile = d.str();
+        m.seed = d.varint();
+        std::uint64_t threads = d.varint();
+        if (threads == 0 || threads > 256)
+            d.fail("implausible thread count");
+        m.numThreads = unsigned(threads);
+        m.layout.globalBase = d.varint();
+        m.layout.globalLen = d.varint();
+        m.layout.stackBase = d.varint();
+        m.layout.stackLen = d.varint();
+        streams_.push_back(std::move(m));
+    }
+    configFp_ = d.fixed64();
+    std::uint32_t wantCrc =
+        crc32(headerStart, std::size_t(d.p - headerStart));
+    if (d.fixed32() != wantCrc)
+        d.fail("header CRC mismatch");
+
+    blocks_.resize(streams_.size());
+    std::vector<std::uint64_t> counted(streams_.size(), 0);
+
+    // Blocks until the footer tag; every payload is CRC-checked now so
+    // cursors can decode later without re-validating integrity.
+    bool sawFooter = false;
+    while (!sawFooter) {
+        Dec b(d.p, d.remaining(), "block");
+        std::uint8_t tag = b.u8();
+        if (tag == tagBlock) {
+            std::uint64_t stream = b.varint();
+            if (stream >= streams_.size())
+                b.fail("block for unknown stream " +
+                       std::to_string(stream));
+            std::uint64_t nrec = b.varint();
+            std::uint64_t len = b.varint();
+            if (len > b.remaining())
+                b.fail("truncated block payload");
+            std::uint64_t offset =
+                std::uint64_t(b.p - bytes_.data());
+            std::uint32_t crc = crc32(b.p, std::size_t(len));
+            b.p += len;
+            if (b.fixed32() != crc)
+                b.fail("block CRC mismatch (stream " +
+                       std::to_string(stream) + ")");
+            blocks_[stream].push_back(BlockRef{offset, len, nrec});
+            counted[stream] += nrec;
+            d.p = b.p;
+        } else if (tag == tagFooter) {
+            const std::uint8_t *bodyStart = b.p;
+            std::uint64_t n = b.varint();
+            if (n != streams_.size())
+                b.fail("footer stream count mismatch");
+            for (std::size_t i = 0; i < streams_.size(); ++i) {
+                streams_[i].records = b.varint();
+                if (streams_[i].records != counted[i])
+                    b.fail("stream " + std::to_string(i) +
+                           " record count mismatch (footer says " +
+                           std::to_string(streams_[i].records) +
+                           ", blocks hold " +
+                           std::to_string(counted[i]) + ")");
+            }
+            manifest_ = decodeManifest(b);
+            std::uint32_t bodyCrc =
+                crc32(bodyStart, std::size_t(b.p - bodyStart));
+            if (b.fixed32() != bodyCrc)
+                b.fail("footer CRC mismatch");
+            if (b.remaining() != sizeof(endMagic) ||
+                std::memcmp(b.p, endMagic, sizeof(endMagic)) != 0)
+                b.fail("missing end marker (file truncated?)");
+            sawFooter = true;
+        } else {
+            b.fail("unknown section tag " + std::to_string(tag));
+        }
+    }
+}
+
+std::uint64_t
+TraceReader::streamBytes(unsigned s) const
+{
+    stream(s); // bounds check
+    std::uint64_t n = 0;
+    for (const BlockRef &b : blocks_[s])
+        n += b.length;
+    return n;
+}
+
+std::uint64_t
+TraceReader::streamBlocks(unsigned s) const
+{
+    stream(s); // bounds check
+    return blocks_[s].size();
+}
+
+const TraceStreamMeta &
+TraceReader::stream(unsigned s) const
+{
+    if (s >= streams_.size())
+        throw TraceError("no stream " + std::to_string(s) + " in '" +
+                         path_ + "'");
+    return streams_[s];
+}
+
+TraceReader::Cursor::Cursor(const TraceReader &r, unsigned stream)
+    : r_(&r), stream_(stream), remaining_(r.stream(stream).records)
+{
+}
+
+void
+TraceReader::Cursor::loadBlock()
+{
+    const BlockRef &blk = r_->blocks_[stream_][blockIdx_++];
+    Dec d(r_->bytes_.data() + blk.offset, std::size_t(blk.length),
+          "record");
+    DeltaState st;
+    recs_.clear();
+    recs_.resize(std::size_t(blk.nrec));
+    for (std::uint64_t i = 0; i < blk.nrec; ++i)
+        decodeRecord(d, st, recs_[std::size_t(i)]);
+    if (d.remaining() != 0)
+        d.fail("trailing bytes after last record in block");
+    i_ = 0;
+}
+
+bool
+TraceReader::Cursor::next(Instruction &out)
+{
+    if (remaining_ == 0)
+        return false;
+    while (i_ == recs_.size())
+        loadBlock();
+    out = recs_[i_++];
+    --remaining_;
+    return true;
+}
+
+//
+// ReplaySource
+//
+
+ReplaySource::ReplaySource(const TraceReader &reader, unsigned stream)
+    : cursor_(reader.cursor(stream)), stream_(stream)
+{
+}
+
+const Instruction *
+ReplaySource::fetchNext()
+{
+    if (!cursor_.next(cur_))
+        return nullptr;
+    ++consumed_;
+    return &cur_;
+}
+
+Instruction
+ReplaySource::fetch()
+{
+    const Instruction *i = fetchNext();
+    panic_if(!i, "replay stream ", stream_, " exhausted after ", consumed_,
+             " records; the run demands more instructions than were "
+             "captured (config mismatch?)");
+    return *i;
+}
+
+} // namespace fade

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/cache.hh"
+#include "mem/directory.hh"
 #include "mem/mdcache.hh"
 #include "mem/shadow.hh"
 #include "sim/random.hh"
@@ -212,6 +215,184 @@ TEST(MdCacheTest, MetadataCompression)
     mdc.accessApp(0x80FC, false);
     EXPECT_EQ(mdc.cache().misses(), misses)
         << "accesses within 256 app bytes share one metadata block";
+}
+
+namespace
+{
+
+DirectoryParams
+dirParams(unsigned clusters)
+{
+    DirectoryParams p;
+    p.clusters = clusters;
+    return p;
+}
+
+/** First address in stride order whose home is @p cluster. */
+Addr
+addrHomedAt(const HomeDirectory &d, unsigned cluster)
+{
+    for (Addr a = 0;; a += d.params().slice.blockBytes)
+        if (d.home(a) == cluster)
+            return a;
+}
+
+/** MemPort stub recording every access (slice-view stand-in). */
+struct RecordingPort : MemPort
+{
+    unsigned
+    access(Addr addr, bool write) override
+    {
+        accesses.push_back(addr);
+        (void)write;
+        return 5;
+    }
+
+    std::vector<Addr> accesses;
+};
+
+} // namespace
+
+TEST(HomeDirectoryTest, SingleClusterDegenerates)
+{
+    HomeDirectory d(dirParams(1));
+    EXPECT_EQ(d.numSlices(), 1u);
+    for (Addr a : {Addr(0), Addr(0x1000), Addr(0x12345678),
+                   ~Addr(0) - 63})
+        EXPECT_EQ(d.home(a), 0u);
+
+    // Flat-case port: every access local, no penalty ever added.
+    DirectoryPort port(d, 0);
+    unsigned cold = port.access(0x4000, false);
+    unsigned warm = port.access(0x4000, false);
+    EXPECT_EQ(cold, d.slice(0).params().latency + d.params().memLatency);
+    EXPECT_EQ(warm, d.slice(0).params().latency);
+    EXPECT_EQ(port.stats().localAccesses, 2u);
+    EXPECT_EQ(port.stats().remoteAccesses, 0u);
+}
+
+TEST(HomeDirectoryTest, HomeIsBlockGranularAndPure)
+{
+    HomeDirectory d(dirParams(4));
+    const Addr block = d.params().slice.blockBytes;
+    for (Addr base : {Addr(0), Addr(0x40000000), Addr(0xE0000000)}) {
+        unsigned h = d.home(base);
+        EXPECT_EQ(d.home(base + 1), h);
+        EXPECT_EQ(d.home(base + block - 1), h);
+        EXPECT_EQ(d.home(base), h) << "home() must be pure";
+    }
+}
+
+/** home(addr) spreads strided block sequences evenly (the Fibonacci
+ *  mix exists so strides do not pile onto one slice). */
+class HomeDistribution : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HomeDistribution, BalancedAcrossSlices)
+{
+    const unsigned clusters = GetParam();
+    HomeDirectory d(dirParams(clusters));
+    const Addr block = d.params().slice.blockBytes;
+    const unsigned n = 4096;
+    std::vector<unsigned> count(clusters, 0);
+    for (unsigned i = 0; i < n; ++i)
+        ++count[d.home(Addr(0x40000000) + Addr(i) * block)];
+    const unsigned ideal = n / clusters;
+    for (unsigned c = 0; c < clusters; ++c) {
+        EXPECT_GT(count[c], ideal * 7 / 10) << "slice " << c;
+        EXPECT_LT(count[c], ideal * 13 / 10) << "slice " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, HomeDistribution,
+                         ::testing::Values(2, 4));
+
+TEST(DirectoryPortTest, RoutesByHomeAndCountsLocalRemote)
+{
+    HomeDirectory d(dirParams(2));
+    DirectoryPort port(d, 0);
+    const Addr local = addrHomedAt(d, 0);
+    const Addr remote = addrHomedAt(d, 1);
+    const unsigned sliceLat = d.slice(0).params().latency;
+    const unsigned mem = d.params().memLatency;
+
+    EXPECT_EQ(port.access(local, false), sliceLat + mem);
+    EXPECT_EQ(port.access(local, false), sliceLat);
+    EXPECT_EQ(port.access(remote, false),
+              sliceLat + mem + d.remoteLatency());
+    EXPECT_EQ(port.access(remote, false), sliceLat + d.remoteLatency());
+
+    EXPECT_EQ(port.stats().localAccesses, 2u);
+    EXPECT_EQ(port.stats().remoteAccesses, 2u);
+    EXPECT_TRUE(d.slice(0).contains(local));
+    EXPECT_FALSE(d.slice(0).contains(remote));
+    EXPECT_TRUE(d.slice(1).contains(remote));
+
+    // A port homed on cluster 1 sees the mirror-image counts and pays
+    // the penalty on the other address.
+    DirectoryPort other(d, 1);
+    EXPECT_EQ(other.access(remote, false), sliceLat);
+    EXPECT_EQ(other.access(local, false),
+              sliceLat + d.remoteLatency());
+    EXPECT_EQ(other.stats().localAccesses, 1u);
+    EXPECT_EQ(other.stats().remoteAccesses, 1u);
+
+    port.resetStats();
+    EXPECT_EQ(port.stats().localAccesses, 0u);
+    EXPECT_EQ(port.stats().remoteAccesses, 0u);
+}
+
+TEST(DirectoryPortTest, SliceRedirectAndRouteToBase)
+{
+    // Scheduler slices detach a port from the real slice caches onto
+    // per-shard views and drain back at the barrier; model the view
+    // with a recording stub.
+    HomeDirectory d(dirParams(2));
+    DirectoryPort port(d, 0);
+    RecordingPort view;
+    const Addr local = addrHomedAt(d, 0);
+    const Addr remote = addrHomedAt(d, 1);
+
+    port.setSlicePort(1, &view);
+    EXPECT_EQ(port.access(remote, false), 5u + d.remoteLatency())
+        << "redirected slice supplies the latency; penalty stays";
+    ASSERT_EQ(view.accesses.size(), 1u);
+    EXPECT_EQ(view.accesses[0], remote);
+    EXPECT_FALSE(d.slice(1).contains(remote))
+        << "real slice must not see detached traffic";
+
+    port.access(local, false);
+    EXPECT_EQ(view.accesses.size(), 1u)
+        << "local slice still routes to the real cache";
+    EXPECT_TRUE(d.slice(0).contains(local));
+
+    // Null restores the real slice, as does routeToBase().
+    port.setSlicePort(1, nullptr);
+    port.access(remote, false);
+    EXPECT_TRUE(d.slice(1).contains(remote));
+
+    port.setSlicePort(0, &view);
+    port.routeToBase();
+    port.access(local, false);
+    EXPECT_EQ(view.accesses.size(), 1u);
+
+    EXPECT_EQ(port.stats().localAccesses, 2u);
+    EXPECT_EQ(port.stats().remoteAccesses, 2u);
+}
+
+TEST(HomeDirectoryTest, ResetStatsClearsEverySlice)
+{
+    HomeDirectory d(dirParams(2));
+    DirectoryPort port(d, 0);
+    port.access(addrHomedAt(d, 0), false);
+    port.access(addrHomedAt(d, 1), false);
+    EXPECT_GT(d.slice(0).misses() + d.slice(1).misses(), 0u);
+    d.resetStats();
+    EXPECT_EQ(d.slice(0).misses(), 0u);
+    EXPECT_EQ(d.slice(1).misses(), 0u);
+    EXPECT_EQ(d.slice(0).hits(), 0u);
+    EXPECT_EQ(d.slice(1).hits(), 0u);
 }
 
 TEST(MdCacheTest, WarmDoesNotCountStats)

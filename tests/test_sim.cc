@@ -148,6 +148,99 @@ TEST(BoundedQueue, StatsReset)
     EXPECT_EQ(q.size(), 2u) << "contents survive stats reset";
 }
 
+TEST(BoundedQueue, PushRunPartialAcceptance)
+{
+    BoundedQueue<int> q(4);
+    q.push(10);
+    q.push(11);
+
+    const int run[] = {20, 21, 22, 23, 24};
+    // Room for 2 of 5: accepted in order until the fill point, one
+    // rejection per entry past it — exactly a loop of push() calls.
+    EXPECT_EQ(q.pushRun(std::begin(run), std::end(run)), 2u);
+    EXPECT_EQ(q.size(), 4u);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.rejects(), 3u);
+    EXPECT_EQ(q.pushes(), 4u);
+    EXPECT_EQ(q.occupancy().total(), 4u)
+        << "only accepted entries sample occupancy";
+
+    EXPECT_EQ(q.pop(), 10);
+    EXPECT_EQ(q.pop(), 11);
+    EXPECT_EQ(q.pop(), 20);
+    EXPECT_EQ(q.pop(), 21);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueue, PushRunBoundaries)
+{
+    BoundedQueue<int> q(2);
+    const int run[] = {1, 2, 3};
+
+    // Empty run: no-op, no accounting.
+    EXPECT_EQ(q.pushRun(run, run), 0u);
+    EXPECT_EQ(q.pushes(), 0u);
+    EXPECT_EQ(q.rejects(), 0u);
+
+    // Run exactly filling the queue: all accepted, no rejection.
+    EXPECT_EQ(q.pushRun(run, run + 2), 2u);
+    EXPECT_EQ(q.rejects(), 0u);
+
+    // Run into a full queue: nothing accepted, all rejected.
+    EXPECT_EQ(q.pushRun(run, run + 3), 0u);
+    EXPECT_EQ(q.rejects(), 3u);
+    EXPECT_EQ(q.size(), 2u);
+
+    // Unbounded queue accepts any run.
+    BoundedQueue<int> u(0);
+    std::vector<int> big(10000, 7);
+    EXPECT_EQ(u.pushRun(big.begin(), big.end()), big.size());
+    EXPECT_EQ(u.rejects(), 0u);
+}
+
+TEST(BoundedQueue, PopRunDiscardsAndClamps)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.push(i);
+
+    // Discarding popRun: accounted as min(n, size()) pops.
+    EXPECT_EQ(q.popRun(2), 2u);
+    EXPECT_EQ(q.pops(), 2u);
+    EXPECT_EQ(q.front(), 2);
+
+    // Asking past the end clamps instead of panicking.
+    EXPECT_EQ(q.popRun(100), 4u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pops(), 6u);
+    EXPECT_EQ(q.popRun(1), 0u) << "empty queue pops nothing";
+    EXPECT_EQ(q.pops(), 6u);
+}
+
+TEST(BoundedQueue, PopRunIntoOutputKeepsFifoOrder)
+{
+    BoundedQueue<int> q(4);
+    // Force wraparound: fill, drain partially, refill.
+    q.push(0);
+    q.push(1);
+    q.push(2);
+    q.popRun(2);
+    q.push(3);
+    q.push(4);
+    q.push(5); // buffer now wraps past the physical end
+
+    std::vector<int> got;
+    EXPECT_EQ(q.popRun(3, std::back_inserter(got)), 3u);
+    EXPECT_EQ(got, (std::vector<int>{2, 3, 4}));
+    EXPECT_EQ(q.front(), 5);
+
+    got.clear();
+    EXPECT_EQ(q.popRun(5, std::back_inserter(got)), 1u)
+        << "output popRun clamps like the discarding form";
+    EXPECT_EQ(got, (std::vector<int>{5}));
+    EXPECT_TRUE(q.empty());
+}
+
 /** Property: occupancy histogram total equals pushes. */
 class QueueCapacitySweep : public ::testing::TestWithParam<std::size_t>
 {
