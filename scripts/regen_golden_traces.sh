@@ -41,6 +41,10 @@ capture mcf_taintcheck_n1   --monitor TaintCheck --profile mcf
 capture ocean_atomcheck_n2  --monitor AtomCheck --profile ocean --shards 2
 capture astar_memcheck_2x2x2 --monitor MemCheck --profile astar \
     --shards 4 --clusters 2 --fades 2
+# Multi-threaded process workload: 4 threads of one process spread
+# over 4 shards in 2 clusters, race monitor attached.
+capture ocean_mt4_racecheck_2x2 --monitor RaceCheck --profile ocean-mt \
+    --shards 4 --clusters 2
 
 "$tool" --verify tests/golden/*.ftrace
 ls -l tests/golden/

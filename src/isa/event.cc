@@ -34,6 +34,10 @@ eventKindName(EventKind k)
       case EventKind::Malloc: return "Malloc";
       case EventKind::Free: return "Free";
       case EventKind::TaintSource: return "TaintSource";
+      case EventKind::LockAcquire: return "LockAcquire";
+      case EventKind::LockRelease: return "LockRelease";
+      case EventKind::ThreadCreate: return "ThreadCreate";
+      case EventKind::ThreadJoin: return "ThreadJoin";
       default: return "Invalid";
     }
 }

@@ -92,8 +92,14 @@ struct MonEvent
     bool
     isHighLevel() const
     {
-        return kind == EventKind::Malloc || kind == EventKind::Free ||
-               kind == EventKind::TaintSource;
+        return kind >= EventKind::Malloc;
+    }
+
+    /** Synchronization pseudo-event (lock/thread lifecycle). */
+    bool
+    isSync() const
+    {
+        return kind >= EventKind::LockAcquire;
     }
 };
 

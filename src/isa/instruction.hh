@@ -42,6 +42,10 @@ enum class EventKind : std::uint8_t
     Malloc,      ///< high-level allocation event (always software)
     Free,        ///< high-level deallocation event (always software)
     TaintSource, ///< high-level taint introduction (always software)
+    LockAcquire, ///< synchronization: lock acquired (always software)
+    LockRelease, ///< synchronization: lock released (always software)
+    ThreadCreate, ///< synchronization: child thread spawned
+    ThreadJoin,   ///< synchronization: child thread joined
 };
 
 /** Printable name of an event kind. */
@@ -63,6 +67,8 @@ enum TruthBits : std::uint8_t
     truthTaintedJump = 1 << 2,       ///< jump target is attacker-tainted
     truthLeakDrop = 1 << 3,          ///< drops the last pointer to a block
     truthAtomViolation = 1 << 4,     ///< unserializable interleaving
+    truthDataRace = 1 << 5,          ///< unsynchronized conflicting access
+    truthCrossTaint = 1 << 6,        ///< reads another thread's taint
 };
 
 /**
@@ -105,7 +111,12 @@ struct Instruction
     /**
      * HighLevel pseudo-instructions: the instrumented runtime event
      * (Malloc/Free/TaintSource), reusing frameBase/frameBytes as the
-     * affected region. EventKind::Inst means "not a high-level op".
+     * affected region. Synchronization pseudo-ops reuse them too:
+     * Lock{Acquire,Release} carry the lock address in frameBase and
+     * the lock's global acquisition index in frameBytes;
+     * Thread{Create,Join} carry the child thread object address in
+     * frameBase and the child tid in frameBytes. EventKind::Inst
+     * means "not a high-level op".
      */
     EventKind hlKind = EventKind::Inst;
 

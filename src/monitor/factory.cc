@@ -4,6 +4,8 @@
 #include "monitor/atomcheck.hh"
 #include "monitor/memcheck.hh"
 #include "monitor/memleak.hh"
+#include "monitor/racecheck.hh"
+#include "monitor/sharedtaint.hh"
 #include "monitor/taintcheck.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +25,10 @@ makeMonitor(const std::string &name)
         return std::make_unique<MemLeak>();
     if (name == "AtomCheck")
         return std::make_unique<AtomCheck>();
+    if (name == "RaceCheck")
+        return std::make_unique<RaceCheck>();
+    if (name == "SharedTaint")
+        return std::make_unique<SharedTaint>();
     fatal("unknown monitor: ", name);
 }
 
@@ -30,7 +36,8 @@ const std::vector<std::string> &
 monitorNames()
 {
     static const std::vector<std::string> v = {
-        "AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "TaintCheck",
+        "AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "RaceCheck",
+        "SharedTaint", "TaintCheck",
     };
     return v;
 }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared per-process monitor state for multi-threaded workloads
+ * (trace/threads.hh) and the canonical interleaving analyses over it:
+ * a vector-clock happens-before race detector and a cross-thread taint
+ * flow detector.
+ *
+ * Each shard's monitor instance appends the operations of the threads
+ * it hosts to that thread's log — logs are written by exactly one
+ * shard each (disjoint writers; the scheduler barrier orders writes
+ * before any cross-thread read at finish()). The analyses then merge
+ * the per-thread logs into ONE canonical schedule driven purely by the
+ * synchronization structure (program order, per-lock acquisition
+ * indices, create/join edges), not by arrival order, so every shard
+ * derives identical reports regardless of thread placement, scheduler
+ * policy, or execution engine. Reports carry placement-invariant keys
+ * (planned pc, address, (tid, per-thread op index) as seq), which is
+ * what the differential matrix in tests/test_threads.cc fingerprints.
+ */
+
+#ifndef FADE_MONITOR_INTERLEAVE_HH
+#define FADE_MONITOR_INTERLEAVE_HH
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "monitor/monitor.hh"
+#include "sim/types.hh"
+
+namespace fade
+{
+
+/** One logged operation of one thread (per-thread program order). */
+struct ThreadOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,    ///< shared-heap load (addr = word)
+        Write,   ///< shared-heap store (addr = word)
+        Acquire, ///< lock acquire (addr = lock, aux = acquisition idx)
+        Release, ///< lock release (addr = lock, aux = acquisition idx)
+        Create,  ///< thread create (aux = child tid)
+        Join,    ///< thread join (aux = child tid)
+        Taint,   ///< taint source (addr = buffer, aux = length)
+    };
+
+    Kind kind = Kind::Read;
+    ThreadId tid = 0;
+    Addr addr = 0;
+    Addr pc = 0;
+    std::uint32_t aux = 0;
+};
+
+/** Per-process state shared by the monitor instances of all shards
+ *  hosting the process's threads. */
+struct ProcessShared
+{
+    explicit ProcessShared(unsigned threads) : logs(threads) {}
+
+    unsigned threads() const { return unsigned(logs.size()); }
+
+    /** logs[t] is written only by the shard hosting thread t. */
+    std::vector<std::vector<ThreadOp>> logs;
+};
+
+/** Happens-before + lockset race detection over the canonical
+ *  schedule. Reports are in canonical order with invariant keys. */
+std::vector<BugReport> analyzeRaces(const ProcessShared &ps);
+
+/** Cross-thread taint flows: a taint source published by one thread
+ *  and read by another (plain writes clear the taint). */
+std::vector<BugReport> analyzeTaintFlows(const ProcessShared &ps);
+
+/**
+ * Common machinery of the cross-shard process monitors (RaceCheck,
+ * SharedTaint): logging events into the bound ProcessShared and
+ * depositing analysis reports exactly once, on the shard hosting the
+ * reported thread (so the union of all shards' reports is the analysis
+ * output with no duplicates, for any shard count).
+ */
+class ProcessMonitorBase : public Monitor
+{
+  public:
+    void
+    bindProcess(ProcessShared *ps, unsigned shardId,
+                unsigned numShards) override
+    {
+        ps_ = ps;
+        shardId_ = shardId;
+        procShards_ = numShards ? numShards : 1;
+    }
+
+  protected:
+    void
+    logOp(const MonEvent &ev, ThreadOp::Kind k)
+    {
+        if (!ps_ || ev.tid >= ps_->threads())
+            return;
+        ThreadOp op;
+        op.kind = k;
+        op.tid = ev.tid;
+        op.addr = ev.appAddr;
+        op.pc = ev.appPc;
+        op.aux = ev.len;
+        ps_->logs[ev.tid].push_back(op);
+    }
+
+    /** finish() may run once per slice; reports must not repeat. */
+    void
+    depositNew(std::vector<BugReport> rs)
+    {
+        for (BugReport &r : rs) {
+            unsigned tid = unsigned(r.seq >> 32);
+            if (tid % procShards_ != shardId_)
+                continue;
+            if (!deposited_.insert({r.addr, r.seq}).second)
+                continue;
+            deposit(std::move(r));
+        }
+    }
+
+    ProcessShared *ps_ = nullptr;
+
+  private:
+    unsigned shardId_ = 0;
+    unsigned procShards_ = 1;
+    std::set<std::pair<Addr, std::uint64_t>> deposited_;
+};
+
+} // namespace fade
+
+#endif // FADE_MONITOR_INTERLEAVE_HH

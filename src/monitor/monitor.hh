@@ -25,6 +25,8 @@
 namespace fade
 {
 
+struct ProcessShared;
+
 /** A detected bug / security alert. */
 struct BugReport
 {
@@ -140,6 +142,22 @@ class Monitor
     /** End of run (MemLeak's final reachability accounting). */
     virtual void finish() {}
 
+    /**
+     * Bind the per-process shared state of a multi-threaded workload
+     * (monitor/interleave.hh). Called by MultiCoreSystem after
+     * construction for monitors of process-mode workloads; @p shardId /
+     * @p numShards tell the monitor which threads it hosts (thread t
+     * lives on shard t % numShards). Monitors of single-threaded
+     * workloads ignore it.
+     */
+    virtual void
+    bindProcess(ProcessShared *ps, unsigned shardId, unsigned numShards)
+    {
+        (void)ps;
+        (void)shardId;
+        (void)numShards;
+    }
+
     const std::vector<BugReport> &reports() const { return reports_; }
     void clearReports() { reports_.clear(); }
 
@@ -155,6 +173,10 @@ class Monitor
         r.detail = std::move(detail);
         reports_.push_back(std::move(r));
     }
+
+    /** Deposit a fully-built report (analyses that construct reports
+     *  with placement-invariant fields rather than from an event). */
+    void deposit(BugReport r) { reports_.push_back(std::move(r)); }
 
   private:
     std::vector<BugReport> reports_;

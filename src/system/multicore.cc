@@ -1,6 +1,7 @@
 #include "system/multicore.hh"
 
 #include "monitor/factory.hh"
+#include "monitor/interleave.hh"
 #include "sim/logging.hh"
 
 namespace fade
@@ -12,6 +13,13 @@ shardWorkload(const std::vector<BenchProfile> &workloads, unsigned idx)
     fatal_if(workloads.empty(), "multi-core system needs >= 1 workload");
     unsigned pos = idx % unsigned(workloads.size());
     BenchProfile p = workloads[pos];
+    // Threads of one multi-threaded process share the plan seed: every
+    // shard must rebuild the identical SyncPlan (trace/threads.hh), so
+    // process profiles are exempt from repeat decorrelation — the
+    // per-thread filler RNGs already decorrelate the shards' private
+    // streams.
+    if (p.procThreads > 0)
+        return p;
     // Repeated profiles decorrelate via a per-shard seed offset —
     // whether the repeat comes from round-robin wraparound or from a
     // duplicate entry in the workload list itself. The first
@@ -68,13 +76,41 @@ MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig &cfg)
         writer_->setConfigFingerprint(traceConfigFingerprint(cfg_));
     }
 
+    // Multi-threaded process mode: every shard hosts threads of ONE
+    // process (thread t on shard t % numShards), so a process profile
+    // cannot share the system with unrelated workloads, and the thread
+    // count must cover (and divide across) the shards.
+    const unsigned procThreads =
+        cfg_.workloads.empty() ? 0 : cfg_.workloads.front().procThreads;
+    for (const BenchProfile &p : cfg_.workloads)
+        fatal_if((p.procThreads > 0) != (procThreads > 0) ||
+                     (p.procThreads > 0 &&
+                      (p.procThreads != procThreads ||
+                       p.name != cfg_.workloads.front().name ||
+                       p.seed != cfg_.workloads.front().seed)),
+                 "a multi-threaded process profile cannot mix with "
+                 "other workloads");
+    if (procThreads > 0) {
+        fatal_if(cfg_.numShards > procThreads, "more shards (",
+                 cfg_.numShards, ") than process threads (", procThreads,
+                 ")");
+        procShared_ = std::make_unique<ProcessShared>(procThreads);
+    }
+
     for (unsigned i = 0; i < cfg_.numShards; ++i) {
         BenchProfile prof = shardWorkload(cfg_.workloads, i);
+        if (procThreads > 0) {
+            prof.procShardId = i;
+            prof.procShards = cfg_.numShards;
+        }
         workloadNames_.push_back(prof.name);
 
         monitors_.push_back(cfg_.monitor.empty()
                                 ? nullptr
                                 : makeMonitor(cfg_.monitor));
+        if (procShared_ && monitors_.back())
+            monitors_.back()->bindProcess(procShared_.get(), i,
+                                          cfg_.numShards);
 
         SystemConfig scfg = cfg_.shard;
         scfg.shardId = std::uint8_t(i);
@@ -331,6 +367,7 @@ traceConfigFingerprint(const MultiCoreConfig &cfg)
         str(p.name);
         v.push_back(p.seed);
         v.push_back(p.numThreads);
+        v.push_back(p.procThreads);
     }
     return fingerprintHash(v);
 }
@@ -372,6 +409,7 @@ replayConfig(const std::string &path)
         p.name = sm.profile;
         p.seed = sm.seed;
         p.numThreads = sm.numThreads;
+        p.procThreads = sm.procThreads;
         cfg.workloads.push_back(std::move(p));
     }
     return cfg;

@@ -43,6 +43,8 @@
 namespace fade
 {
 
+struct ProcessShared;
+
 /** Configuration of the sharded system. */
 struct MultiCoreConfig
 {
@@ -193,6 +195,11 @@ class MultiCoreSystem
     ShardScheduler &scheduler() { return *sched_; }
     const ShardScheduler &scheduler() const { return *sched_; }
 
+    /** Per-process monitor state shared by all shards' monitor
+     *  instances, or nullptr for non-process workloads
+     *  (monitor/interleave.hh). */
+    ProcessShared *processShared() { return procShared_.get(); }
+
     /** The capture writer (nullptr when traceOut is empty). */
     TraceWriter *traceWriter() { return writer_.get(); }
     /** The replay reader (nullptr when traceIn is empty). */
@@ -220,6 +227,9 @@ class MultiCoreSystem
     std::uint64_t capturedRun_ = 0;
     HomeDirectory dir_;
     std::vector<unsigned> shardClusters_;
+    /** Shared log/analysis state of a multi-threaded process workload
+     *  (null otherwise); outlives the shards' monitor bindings. */
+    std::unique_ptr<ProcessShared> procShared_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
     std::vector<std::unique_ptr<MonitoringSystem>> shards_;
     std::vector<std::string> workloadNames_;

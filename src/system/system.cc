@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "system/pipeline.hh"
+#include "trace/threads.hh"
 #include "trace/tracefile.hh"
 
 namespace fade
@@ -41,6 +42,11 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
         (std::uint64_t(cfg_.shardId) << 40) |
         ((std::uint64_t(cfg_.shardId) * 0x9E3779B97F4A7C15ULL) &
          0xFFFFFFC0ULL);
+    // Threads of one multi-threaded process share an address space:
+    // identical addresses on different shards ARE the same physical
+    // data (the shared heap), so process-mode shards run salt-free.
+    if (profile.procThreads > 0)
+        salt = 0;
     appL1_.setAddrSalt(salt);
     monL1_.setAddrSalt(salt);
 
@@ -58,16 +64,23 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
                  "shard ", unsigned(cfg_.shardId));
         const TraceStreamMeta &m = cfg_.traceIn->stream(cfg_.shardId);
         fatal_if(m.profile != profile.name || m.seed != profile.seed ||
-                     m.numThreads != profile.numThreads,
+                     m.numThreads != profile.numThreads ||
+                     m.procThreads != profile.procThreads,
                  "trace stream ", unsigned(cfg_.shardId),
                  " was captured from workload '", m.profile, "' (seed ",
-                 m.seed, ", ", m.numThreads, " threads) but this shard "
+                 m.seed, ", ", m.numThreads, " threads, ",
+                 m.procThreads, " process threads) but this shard "
                  "runs '", profile.name, "' (seed ", profile.seed, ", ",
-                 profile.numThreads, " threads)");
+                 profile.numThreads, " threads, ", profile.procThreads,
+                 " process threads)");
         replay_ = std::make_unique<ReplaySource>(*cfg_.traceIn,
                                                  cfg_.shardId);
         appSrc = replay_.get();
         layout = m.layout;
+    } else if (profile.procThreads > 0) {
+        tgen_ = std::make_unique<ThreadedSource>(profile);
+        appSrc = tgen_.get();
+        layout = tgen_->layout();
     } else {
         gen_ = std::make_unique<TraceGenerator>(profile);
         appSrc = gen_.get();
@@ -78,6 +91,7 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
         meta.profile = profile.name;
         meta.seed = profile.seed;
         meta.numThreads = profile.numThreads;
+        meta.procThreads = profile.procThreads;
         meta.layout = layout;
         unsigned sid = cfg_.traceOut->addStream(meta);
         panic_if(sid != cfg_.shardId,

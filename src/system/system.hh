@@ -39,6 +39,7 @@ namespace fade
 class CaptureSource;
 class PipelineDriver;
 class ReplaySource;
+class ThreadedSource;
 class TraceReader;
 class TraceWriter;
 
@@ -275,6 +276,8 @@ class MonitoringSystem
     Cache monL1_;
 
     std::unique_ptr<TraceGenerator> gen_;
+    /** Multi-threaded process source (profile.procThreads > 0). */
+    std::unique_ptr<ThreadedSource> tgen_;
     /** Trace-driven replacements/decorators of gen_ (traceIn/Out). */
     std::unique_ptr<ReplaySource> replay_;
     std::unique_ptr<CaptureSource> capture_;

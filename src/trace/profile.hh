@@ -112,6 +112,31 @@ struct BenchProfile
     /** Of shared refs: chance to touch a word another thread owns. */
     double remoteConflictFrac = 0.0;
 
+    /**
+     * Multi-threaded process mode (trace/threads.hh): total threads of
+     * ONE process spread across the shards of a multi-core system.
+     * 0 keeps the classic per-shard single-process generator. When
+     * set, the generator emits synchronization pseudo-ops
+     * (lock/thread lifecycle) and shared-heap accesses from a
+     * deterministic plan derived from the seed alone, so every shard
+     * of the process sees the same global schedule regardless of how
+     * threads are placed.
+     */
+    unsigned procThreads = 0;
+    /** Locks guarding the shared heap (plan construction). */
+    unsigned procLocks = 4;
+    /** Planned critical sections across all threads. */
+    unsigned procSections = 48;
+    /** Deterministically injected unsynchronized access pairs. */
+    unsigned injectRaces = 0;
+    /** Deterministically injected cross-thread taint flows. */
+    unsigned injectTaintFlows = 0;
+    /** Placement (assigned by MultiCoreSystem): this shard's index and
+     *  the process's shard count. Thread t runs on shard
+     *  t % procShards. */
+    unsigned procShardId = 0;
+    unsigned procShards = 1;
+
     std::uint64_t seed = 1;
 };
 
@@ -120,6 +145,15 @@ BenchProfile specProfile(const std::string &name);
 
 /** Profile for one of the five parallel benchmarks modelled. */
 BenchProfile parallelProfile(const std::string &name);
+
+/**
+ * Multi-threaded process profile ("<base>-mt"): @p base is one of the
+ * parallel benchmarks; the result runs @p threads threads of one
+ * process across the shards of a multi-core system (RaceCheck /
+ * SharedTaint workloads, trace/threads.hh).
+ */
+BenchProfile threadedProfile(const std::string &base,
+                             unsigned threads = 4);
 
 /** Names of the modelled SPEC2006-int benchmarks. */
 const std::vector<std::string> &specBenchmarks();

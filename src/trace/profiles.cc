@@ -273,4 +273,25 @@ parallelProfile(const std::string &name)
     return p;
 }
 
+BenchProfile
+threadedProfile(const std::string &base, unsigned threads)
+{
+    // Start from the parallel benchmark's character (sharing level,
+    // working sets), then switch the generator into process mode: the
+    // sync/shared-access plan is derived from the seed alone, so every
+    // shard hosting threads of this process rebuilds the same plan.
+    BenchProfile p = parallelProfile(base);
+    p.name = base + "-mt";
+    p.seed = seedOf(p.name);
+    p.procThreads = threads;
+    p.numThreads = threads;
+    p.switchQuantum = 64;
+    if (base == "ocean" || base == "streamcluster") {
+        // Heavier sharing: more critical sections over more locks.
+        p.procLocks = 6;
+        p.procSections = 72;
+    }
+    return p;
+}
+
 } // namespace fade

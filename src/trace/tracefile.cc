@@ -25,10 +25,13 @@ constexpr std::uint8_t tagBlock = 0x01;
 constexpr std::uint8_t tagFooter = 0x02;
 
 /**
- * Per-record flag bytes. flags0 packs the two enums plus the branch
- * outcome; flags1 is bools and presence bits. Presence bits are
- * derived purely from field values (a field at its default is simply
- * absent), so encode(decode(x)) == x field for field.
+ * Per-record flag bytes. flags0 packs the two enums (class in the low
+ * nibble, high-level event kind in the high nibble); flags1 is bools
+ * and presence bits. Presence bits are derived purely from field
+ * values (a field at its default is simply absent), so
+ * encode(decode(x)) == x field for field. Format v2 widened hlKind to
+ * the full high nibble (room for the synchronization pseudo-ops) and
+ * moved the branch outcome to flags1 bit 7, which v1 kept reserved.
  */
 constexpr std::uint8_t f1HasDst = 1 << 0;
 constexpr std::uint8_t f1MayPropagate = 1 << 1;
@@ -37,7 +40,7 @@ constexpr std::uint8_t f1HasMem = 1 << 3;
 constexpr std::uint8_t f1HasFrame = 1 << 4;
 constexpr std::uint8_t f1HasTruth = 1 << 5;
 constexpr std::uint8_t f1TidChanged = 1 << 6;
-constexpr std::uint8_t f1Reserved = 1 << 7;
+constexpr std::uint8_t f1Mispredict = 1 << 7;
 
 /** IEEE CRC32 (reflected, poly 0xEDB88320), table-driven. */
 const std::uint32_t *
@@ -225,9 +228,9 @@ encodeRecord(Enc &e, DeltaState &d, const Instruction &in)
     bool tidChanged = in.tid != d.tid;
 
     std::uint8_t flags0 = std::uint8_t(in.cls) |
-                          (std::uint8_t(in.hlKind) << 4) |
-                          (in.mispredict ? 0x80 : 0);
-    std::uint8_t flags1 = (in.hasDst ? f1HasDst : 0) |
+                          (std::uint8_t(in.hlKind) << 4);
+    std::uint8_t flags1 = (in.mispredict ? f1Mispredict : 0) |
+                          (in.hasDst ? f1HasDst : 0) |
                           (in.mayPropagate ? f1MayPropagate : 0) |
                           (hasRegs ? f1HasRegs : 0) |
                           (hasMem ? f1HasMem : 0) |
@@ -268,20 +271,18 @@ decodeRecord(Dec &d, DeltaState &st, Instruction &out)
 {
     std::uint8_t flags0 = d.u8();
     std::uint8_t flags1 = d.u8();
-    if (flags1 & f1Reserved)
-        d.fail("reserved record flag set");
 
     std::uint8_t cls = flags0 & 0x0F;
-    std::uint8_t hl = (flags0 >> 4) & 0x07;
+    std::uint8_t hl = (flags0 >> 4) & 0x0F;
     if (cls >= std::uint8_t(InstClass::NumClasses))
         d.fail("invalid instruction class " + std::to_string(cls));
-    if (hl > std::uint8_t(EventKind::TaintSource))
+    if (hl > std::uint8_t(EventKind::ThreadJoin))
         d.fail("invalid high-level event kind " + std::to_string(hl));
 
     out = Instruction{};
     out.cls = InstClass(cls);
     out.hlKind = EventKind(hl);
-    out.mispredict = (flags0 & 0x80) != 0;
+    out.mispredict = (flags1 & f1Mispredict) != 0;
     out.hasDst = (flags1 & f1HasDst) != 0;
     out.mayPropagate = (flags1 & f1MayPropagate) != 0;
 
@@ -452,6 +453,7 @@ TraceWriter::writeHeader()
         e.str(s.meta.profile);
         e.varint(s.meta.seed);
         e.varint(s.meta.numThreads);
+        e.varint(s.meta.procThreads);
         e.varint(s.meta.layout.globalBase);
         e.varint(s.meta.layout.globalLen);
         e.varint(s.meta.layout.stackBase);
@@ -608,6 +610,10 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
         if (threads == 0 || threads > 256)
             d.fail("implausible thread count");
         m.numThreads = unsigned(threads);
+        std::uint64_t proc = d.varint();
+        if (proc > 256)
+            d.fail("implausible process thread count");
+        m.procThreads = unsigned(proc);
         m.layout.globalBase = d.varint();
         m.layout.globalLen = d.varint();
         m.layout.stackBase = d.varint();

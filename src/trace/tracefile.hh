@@ -64,8 +64,11 @@ class TraceError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** Bumped on any incompatible change to the encoding. */
-constexpr std::uint32_t traceFormatVersion = 1;
+/** Bumped on any incompatible change to the encoding. v2: hlKind
+ *  widened to four bits (synchronization pseudo-ops), mispredict moved
+ *  to the previously reserved flags1 bit, and per-stream metadata
+ *  gained the owning process's total thread count. */
+constexpr std::uint32_t traceFormatVersion = 2;
 
 /** Per-stream metadata: what produced this instruction stream and the
  *  startup state a monitor needs to replay it (Monitor::initShadow
@@ -75,6 +78,10 @@ struct TraceStreamMeta
     std::string profile;
     std::uint64_t seed = 0;
     unsigned numThreads = 1;
+    /** Total threads of the owning multi-threaded process, spread
+     *  across all shards (trace/threads.hh); 0 for the classic
+     *  single-process-per-shard workloads. */
+    unsigned procThreads = 0;
     WorkloadLayout layout;
     /** Total records in the stream (filled in by the reader; ignored
      *  by TraceWriter::addStream). */

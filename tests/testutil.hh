@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared test helpers: the self-deleting temp-file RAII wrapper used by
+ * every suite that round-trips files through disk (trace capture,
+ * golden replay, threaded-matrix capture tests).
+ */
+
+#ifndef FADE_TESTS_TESTUTIL_HH
+#define FADE_TESTS_TESTUTIL_HH
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fade::test
+{
+
+/** Self-deleting temporary file (mkstemp-backed RAII path). */
+class TempFile
+{
+  public:
+    explicit TempFile(const char *prefix = "fade_test")
+    {
+        std::string tmpl = std::string("/tmp/") + prefix + "_XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        int fd = ::mkstemp(buf.data());
+        if (fd >= 0)
+            ::close(fd);
+        path_ = buf.data();
+    }
+
+    TempFile(const TempFile &) = delete;
+    TempFile &operator=(const TempFile &) = delete;
+
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace fade::test
+
+#endif // FADE_TESTS_TESTUTIL_HH
