@@ -43,7 +43,7 @@ main()
         const char *paperMon[] = {"~0.24", "~0.3", "~0.55", "0.68",
                                   "~0.6"};
         unsigned idx = 0;
-        for (const auto &mon : monitorNames()) {
+        for (const auto &mon : paperMonitorNames()) {
             double app = 0, monitored = 0;
             const auto &benches = benchmarksFor(mon);
             for (const auto &b : benches) {

@@ -24,7 +24,7 @@ main()
     double memUnacc = 0, memFade = 0, propUnacc = 0, propFade = 0;
     unsigned memN = 0, propN = 0;
 
-    for (const auto &mon : monitorNames()) {
+    for (const auto &mon : paperMonitorNames()) {
         header(("Fig. 9: " + mon +
                 " slowdown per benchmark (single-core dual-threaded, "
                 "4-way OoO)")

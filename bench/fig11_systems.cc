@@ -26,7 +26,7 @@ main()
         TextTable t;
         t.header({"monitor", "single-core", "two-core", "two-core gain"});
         double gainAcc = 0, gainMax = 0;
-        for (const auto &mon : monitorNames()) {
+        for (const auto &mon : paperMonitorNames()) {
             std::vector<double> sc, tc;
             for (const auto &b : benchmarksFor(mon)) {
                 BenchProfile prof = profileFor(mon, b);
@@ -57,7 +57,7 @@ main()
         t.header({"monitor", "app core idle (EQ full)",
                   "monitor core idle", "both utilized"});
         double bothAvg = 0;
-        for (const auto &mon : monitorNames()) {
+        for (const auto &mon : paperMonitorNames()) {
             double appIdle = 0, monIdle = 0, both = 0;
             const auto &benches = benchmarksFor(mon);
             for (const auto &b : benches) {
@@ -99,7 +99,7 @@ main()
             {"MemCheck", "~1.1x"},  {"MemLeak", "~2x"},
             {"TaintCheck", "~2x"},
         };
-        for (const auto &mon : monitorNames()) {
+        for (const auto &mon : paperMonitorNames()) {
             std::vector<double> blk, nbk;
             for (const auto &b : benchmarksFor(mon)) {
                 BenchProfile prof = profileFor(mon, b);

@@ -11,9 +11,14 @@
  * checks alone; perf numbers are tracked through the emitted JSON lines
  * (scripts/bench_baseline.sh, docs/BENCHMARKS.md) with no perf gate.
  *
- * Usage: micro_trace [--smoke] [--profile NAME] [--instr N]
+ * Every reported rate is the median of --reps timed repetitions, after
+ * one discarded host-warmup repetition (reps > 1), so baseline JSON
+ * lines stay stable on noisy shared hosts.
+ *
+ * Usage: micro_trace [--smoke] [--profile NAME] [--instr N] [--reps N]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -39,6 +44,28 @@ now()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+unsigned gReps = 3;
+
+/** Median of gReps timed runs of @p fn (seconds), after one discarded
+ *  warmup run when more than one rep is requested. */
+template <typename Fn>
+double
+medianSeconds(Fn fn)
+{
+    std::vector<double> walls;
+    unsigned total = gReps > 1 ? gReps + 1 : gReps;
+    for (unsigned rep = 0; rep < total; ++rep) {
+        double t0 = now();
+        fn();
+        double w = now() - t0;
+        if (gReps > 1 && rep == 0)
+            continue;
+        walls.push_back(w);
+    }
+    std::sort(walls.begin(), walls.end());
+    return walls[(walls.size() - 1) / 2];
 }
 
 /** Order-independent fingerprint of one generated instruction. */
@@ -71,16 +98,25 @@ generatorMicro(const std::string &profile, std::uint64_t n)
     TraceGenerator b(specProfile(profile));
 
     std::uint64_t hashA = 0;
-    double t0 = now();
     for (std::uint64_t k = 0; k < n; ++k)
         hashA += instHash(a.fetch());
-    double perInstr = (now() - t0) / double(n) * 1e9;
+
+    // Timed reps use fresh instances so every rep generates the same
+    // stream from the same startup state.
+    std::uint64_t sink = 0;
+    double perInstr = medianSeconds([&] {
+        TraceGenerator g(specProfile(profile));
+        for (std::uint64_t k = 0; k < n; ++k)
+            sink += instHash(g.fetch());
+    }) / double(n) * 1e9;
 
     std::uint64_t hashB = 0;
     for (std::uint64_t k = 0; k < n; ++k)
         hashB += instHash(b.fetch());
 
-    bool ok = hashA == hashB;
+    // Every timed rep must have reproduced the reference stream too.
+    unsigned timedReps = gReps > 1 ? gReps + 1 : gReps;
+    bool ok = hashA == hashB && sink == hashA * timedReps;
     if (!ok)
         std::printf("GENERATOR DIVERGED: two identically-seeded "
                     "instances produced different streams\n");
@@ -139,10 +175,10 @@ setMicro(std::uint64_t ops)
     }
 
     // Rate phase: the generator-shaped mix (insert+erase+2 lookups).
+    // Fresh containers per rep so every rep runs the identical op mix.
     auto run = [&](auto &set) {
         Rng r(0x5678);
         std::uint64_t hits = 0;
-        double t0 = now();
         for (std::uint64_t k = 0; k < ops; ++k) {
             Addr key = Addr(r.range(1u << 16)) * wordSize;
             set.insert(key);
@@ -150,12 +186,17 @@ setMicro(std::uint64_t ops)
             set.erase(key ^ 0x80);
             hits += set.count(key);
         }
-        return std::make_pair((now() - t0), hits);
+        return hits;
     };
-    AddrSet flat2;
-    std::unordered_set<Addr> ref2;
-    auto [flatS, flatHits] = run(flat2);
-    auto [refS, refHits] = run(ref2);
+    std::uint64_t flatHits = 0, refHits = 0;
+    double flatS = medianSeconds([&] {
+        AddrSet flat2;
+        flatHits = run(flat2);
+    });
+    double refS = medianSeconds([&] {
+        std::unordered_set<Addr> ref2;
+        refHits = run(ref2);
+    });
     if (flatHits != refHits) {
         std::printf("ADDRSET DIVERGED in rate phase\n");
         return false;
@@ -217,17 +258,18 @@ wordSetMicro(std::uint64_t ops)
     }
 
     // Range-erase rate: the free/return pattern.
-    WordSet w2;
-    double t0 = now();
     std::uint64_t words = 0;
-    for (std::uint64_t k = 0; k < ops / 64; ++k) {
-        Addr base = heapBase + (k % 1024) * 0x1000;
-        for (unsigned i = 0; i < 16; ++i)
-            w2.insert(base + i * 64);
-        w2.eraseRange(base, base + 0x1000);
-        words += 0x1000 / wordSize;
-    }
-    double s = now() - t0;
+    double s = medianSeconds([&] {
+        WordSet w2;
+        words = 0;
+        for (std::uint64_t k = 0; k < ops / 64; ++k) {
+            Addr base = heapBase + (k % 1024) * 0x1000;
+            for (unsigned i = 0; i < 16; ++i)
+                w2.insert(base + i * 64);
+            w2.eraseRange(base, base + 0x1000);
+            words += 0x1000 / wordSize;
+        }
+    });
     std::printf("wordset range-erase: %.0f M words/s\n",
                 words / s / 1e6);
     std::printf("{\"bench\":\"micro_trace\",\"what\":\"wordset_erase\","
@@ -239,17 +281,20 @@ wordSetMicro(std::uint64_t ops)
 void
 shadowMicro(std::uint64_t ops)
 {
-    ShadowMemory sh(0xff);
-    double t0 = now();
     std::uint64_t bytes = 0;
-    for (std::uint64_t k = 0; k < ops / 16; ++k) {
-        Addr app = heapBase + (k % 4096) * 0x800;
-        sh.fillApp(app, 0x800, std::uint8_t(k));
-        bytes += 0x800 / wordSize;
-    }
-    double s = now() - t0;
+    std::size_t pages = 0;
+    double s = medianSeconds([&] {
+        ShadowMemory sh(0xff);
+        bytes = 0;
+        for (std::uint64_t k = 0; k < ops / 16; ++k) {
+            Addr app = heapBase + (k % 4096) * 0x800;
+            sh.fillApp(app, 0x800, std::uint8_t(k));
+            bytes += 0x800 / wordSize;
+        }
+        pages = sh.mappedPages();
+    });
     std::printf("shadow fillApp: %.0f M md-bytes/s (%zu pages mapped)\n",
-                bytes / s / 1e6, sh.mappedPages());
+                bytes / s / 1e6, pages);
     std::printf("{\"bench\":\"micro_trace\",\"what\":\"shadow_fill\","
                 "\"Mbytes_s\":%.0f}\n", bytes / s / 1e6);
 }
@@ -273,10 +318,15 @@ main(int argc, char **argv)
         if (!std::strcmp(argv[i], "--smoke")) {
             instr = 200000;
             ops = 200000;
+            gReps = 1;
         } else if (!std::strcmp(argv[i], "--profile")) {
             profile = next("--profile");
         } else if (!std::strcmp(argv[i], "--instr")) {
             instr = std::strtoull(next("--instr"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--reps")) {
+            gReps = unsigned(std::strtoul(next("--reps"), nullptr, 10));
+            if (!gReps)
+                gReps = 1;
         } else {
             std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
             return 2;

@@ -27,7 +27,7 @@ main()
         {"MemCheck", "98.0%"},  {"MemLeak", "87.0%"},
         {"TaintCheck", "84.0%"},
     };
-    for (const auto &mon : monitorNames()) {
+    for (const auto &mon : paperMonitorNames()) {
         double ratio = 0, cc = 0, ru = 0, pp = 0;
         const auto &benches = benchmarksFor(mon);
         for (const auto &b : benches) {

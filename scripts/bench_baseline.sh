@@ -2,21 +2,25 @@
 # Capture the current perf baseline as JSON lines so the trajectory of
 # the functional-layer fast paths is recorded in-repo. Runs the two
 # micro harnesses (micro_trace: generator ns/instr + container op
-# rates; micro_pipeline: end-to-end engine events/s with the hard
-# bit-equality check) plus trace_tool --bench (live vs capture vs
-# replay events/s with the hard replay bit-identity check) and
-# collects every JSON line they emit into one file. Usage:
+# rates; micro_pipeline: per-cycle vs batched vs run-grain engine
+# events/s with the hard equality checks — bitwise for batched,
+# functional for run-grain — and the run-grain cycle decomposition)
+# plus trace_tool --bench (live vs capture vs replay events/s with the
+# hard replay bit-identity check, once per engine) and collects every
+# JSON line they emit into one file. Usage:
 #
 #   sh scripts/bench_baseline.sh [builddir] [outfile]
 #
-# Defaults: builddir=build, outfile=BENCH_pr6.json. Numbers are only
+# Defaults: builddir=build, outfile=BENCH_pr8.json. Numbers are only
 # comparable on the same host under the same load — see
-# docs/BENCHMARKS.md for the measurement protocol.
+# docs/BENCHMARKS.md for the measurement protocol. Both micro harnesses
+# report the median of their in-harness repetitions (after a discarded
+# host-warmup rep), so one invocation per harness suffices.
 set -eu
 cd "$(dirname "$0")/.."
 
 builddir=${1:-build}
-out=${2:-BENCH_pr6.json}
+out=${2:-BENCH_pr8.json}
 
 for bin in micro_trace micro_pipeline trace_tool; do
     if [ ! -x "$builddir/$bin" ]; then
@@ -29,17 +33,15 @@ done
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== micro_trace (3 reps, best visible in the lines) =="
-for rep in 1 2 3; do
-    "$builddir/micro_trace" | tee -a "$tmp"
-done
+echo "== micro_trace (median of in-harness reps) =="
+"$builddir/micro_trace" | tee -a "$tmp"
 
-echo "== micro_pipeline (3 reps inside the harness) =="
+echo "== micro_pipeline (3 engines, median of in-harness reps) =="
 "$builddir/micro_pipeline" | tee -a "$tmp"
 
 echo "== trace_tool --bench (replay vs live, bit-identity checked) =="
-for rep in 1 2 3; do
-    "$builddir/trace_tool" --bench | tee -a "$tmp"
+for engine in percycle batched rungrain; do
+    "$builddir/trace_tool" --bench --engine "$engine" | tee -a "$tmp"
 done
 
 grep '^{' "$tmp" > "$out"

@@ -551,6 +551,117 @@ Fade::skipCycles(const FadeStallProfile &p, std::uint64_t n)
         stats_.stallFsqFull += n;
 }
 
+RunGrainEventOutcome
+Fade::processEventRunGrain(const MonEvent &ev)
+{
+    // Eager-serialized traversal: the pipeline latches are empty and
+    // no handler is outstanding (driver invariant), so every metadata
+    // gather reads the canonical stores directly — which is exactly
+    // the value the MW-latch / FSQ forwarding paths would supply,
+    // since the in-flight updates they forward have already been
+    // applied by the time this event is processed.
+    panic_if(pipeOcc_ != 0 || front_ != FrontState::Normal,
+             "run-grain event processing with the pipeline in flight");
+    RunGrainEventOutcome o;
+    if (ev.shard != shardId_)
+        ++stats_.crossShardEvents;
+
+    if (ev.isStackUpdate()) {
+        o.kind = RunGrainEventOutcome::Kind::Stack;
+        o.serialize = true;
+        ++stats_.stackEvents;
+        if (onStackUpdate)
+            onStackUpdate(ev);
+        suu_.start(ev.appAddr, ev.len,
+                   ev.kind == EventKind::StackCall);
+        unsigned cycles = 0;
+        while (suu_.busy()) {
+            suu_.tick();
+            ++cycles;
+        }
+        o.suuCycles = cycles;
+        stats_.suuCycles += cycles;
+        return o;
+    }
+
+    if (!ev.isInst()) {
+        // High-level / sync event: always software. With
+        // drainOnHighLevel the unit additionally holds filtering until
+        // the handler completes (the serialize flag; the order itself
+        // is already preserved by the eager-serialized discipline).
+        o.kind = RunGrainEventOutcome::Kind::HighLevel;
+        o.software = true;
+        o.serialize = params_.drainOnHighLevel;
+        UnfilteredEvent *u = ueq_->pushSlot();
+        panic_if(!u, "run-grain UEQ push rejected");
+        *u = UnfilteredEvent{};
+        u->ev = ev;
+        ++outstanding_;
+        ++stats_.highLevelEvents;
+        recordSoftwareBound(ev);
+        return o;
+    }
+
+    fatal_if(!table_.validAt(ev.eventId),
+             "monitored event id ", unsigned(ev.eventId),
+             " has no event table entry");
+    const EventTableEntry &e = table_.lookup(ev.eventId);
+    OperandMd md = gatherMd(e, ev);
+    FilterOutcome out = logic_.evaluate(table_, ev.eventId, md);
+    o.shots = out.shots;
+    stats_.shots += out.shots;
+    stats_.comparisons += out.blocksUsed;
+    ++stats_.instEvents;
+
+    if (out.filtered) {
+        ++stats_.filtered;
+        if (ev.eventId < numCanonicalEvents)
+            ++stats_.filteredById[ev.eventId];
+        if (out.ccPassed)
+            ++stats_.filteredCC;
+        else if (out.ruPassed)
+            ++stats_.filteredRU;
+        ++sinceUnfiltered_;
+        return o;
+    }
+
+    o.software = true;
+    UnfilteredEvent *u = ueq_->pushSlot();
+    panic_if(!u, "run-grain UEQ push rejected");
+    u->ev = ev;
+    u->handlerPc = out.handlerPc;
+    u->checkPassed = out.checkPassed;
+    u->hwChecked = true;
+    ++outstanding_;
+    if (ev.eventId < numCanonicalEvents)
+        ++stats_.softwareById[ev.eventId];
+    if (out.partial) {
+        if (out.checkPassed)
+            ++stats_.partialPass;
+        else
+            ++stats_.partialFail;
+    } else {
+        ++stats_.unfiltered;
+    }
+    recordSoftwareBound(ev);
+
+    if (params_.nonBlocking) {
+        auto val = computeMdUpdate(e.nb, md, inv_);
+        if (val) {
+            if (e.d.valid && e.d.mem)
+                fsq_.push(mdAddrOf(ev.appAddr), *val, ev.seq);
+            else
+                ctx_.regMd.write(ev.tid, ev.dst, *val);
+        }
+    } else {
+        // Baseline blocking FADE: filtering stalls until the handler
+        // completes. The stall itself lives in the engine's timing
+        // model; functionally the handler runs next anyway.
+        o.serialize = true;
+    }
+    return o;
+}
+
 void
 Fade::handlerDone(std::uint64_t seq)
 {

@@ -171,6 +171,31 @@ struct FadeStallProfile
 };
 
 /**
+ * What the run-grain engine (system/rungrain.hh) needs to know about
+ * one event it just processed functionally: its class, how long the
+ * Filter stage holds it (multi-shot evaluations), how long the SUU
+ * owns the unit (stack updates), and whether a software handler was
+ * forwarded. The engine folds these into its closed-form filter
+ * pipeline algebra; every functional effect (verdict counters, UEQ
+ * forward, metadata update, SUU writes) has already been applied.
+ */
+struct RunGrainEventOutcome
+{
+    enum class Kind : std::uint8_t { Inst, Stack, HighLevel };
+    Kind kind = Kind::Inst;
+    /** Filter-stage occupancy in cycles (instruction events). */
+    unsigned shots = 0;
+    /** Cycles the SUU owned the unit (stack updates). */
+    unsigned suuCycles = 0;
+    /** Event was forwarded to the UEQ for software processing. */
+    bool software = false;
+    /** Filtering must wait for the handler / the SUU before the next
+     *  event (blocking mode, stack updates, drained high-level
+     *  events). */
+    bool serialize = false;
+};
+
+/**
  * The accelerator. The owning system binds the two decoupling queues,
  * ticks FADE once per cycle, and reports software handler completions
  * via handlerDone().
@@ -222,6 +247,32 @@ class Fade
      * false and no external input changed during the span.
      */
     void skipCycles(const FadeStallProfile &p, std::uint64_t n);
+
+    /**
+     * Run-grain engine (Engine::RunGrain): process @p ev functionally,
+     * end to end, without ticking the pipeline — the eager-serialized
+     * counterpart of one event's full traversal. Applies exactly the
+     * functional effects and verdict/distribution counters the
+     * per-cycle path applies (table lookup, metadata gather, filter
+     * evaluation, NB metadata update / FSQ push, UEQ forward, SUU
+     * writes, onStackUpdate bookkeeping) and returns the stage-time
+     * inputs for the engine's timing algebra. Legal only with the
+     * pipeline latches empty and at most one software handler in
+     * flight, which the eager-serialized driver guarantees; the
+     * caller runs the forwarded handler to completion (handlerDone())
+     * before the next call, so metadata gathers observe exactly the
+     * values the per-cycle forwarding paths (MW latch, FSQ) would
+     * forward.
+     */
+    RunGrainEventOutcome processEventRunGrain(const MonEvent &ev);
+
+    /** Run-grain engine: batch-apply modeled busy/idle unit cycles. */
+    void
+    runGrainAccountCycles(std::uint64_t busy, std::uint64_t idle)
+    {
+        stats_.busyCycles += busy;
+        stats_.idleCycles += idle;
+    }
 
     /** Software completed the handler of the event with @p seq. */
     void handlerDone(std::uint64_t seq);

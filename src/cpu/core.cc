@@ -43,6 +43,74 @@ aggressiveOooParams()
     return p;
 }
 
+void
+RunGrainThread::configure(const CoreParams &p, unsigned robPartition)
+{
+    width_ = std::max(1u, p.width);
+    // The recurrence indexes c_{k-W} inside the commit ring, so the
+    // ring must cover at least one full dispatch group.
+    robCap_ = std::max(std::max(1u, robPartition), width_);
+    inOrder_ = p.inOrder;
+    mispredictPenalty_ = p.mispredictPenalty;
+    commitRing_.assign(robCap_, 0);
+    dispatchRing_.assign(width_, 0);
+}
+
+RunGrainThread::Retire
+RunGrainThread::retire(const Instruction &inst, unsigned execLat,
+                       Cycle fetchGate, Cycle sinkGate)
+{
+    Retire out;
+
+    // Dispatch: width pacing, branch redirect, then ROB-partition
+    // space (the entry k-R must have committed; commit precedes
+    // dispatch inside one reference tick, so the same cycle is legal).
+    Cycle base = std::max(fetchGate, lastDispatch_);
+    if (count_ >= width_)
+        base = std::max(base,
+                        dispatchRing_[(count_ - width_) % width_] + 1);
+    Cycle afterStall = std::max(base, fetchStallUntil_);
+    out.fetchWait = afterStall - base;
+    Cycle d = afterStall;
+    if (count_ >= robCap_)
+        d = std::max(d, commitRing_[count_ % robCap_]);
+    out.robWait = d - afterStall;
+    dispatchRing_[count_ % width_] = d;
+    lastDispatch_ = d;
+
+    // Issue and complete (dispatchInst()'s timing math).
+    Cycle exec = d + 1;
+    if (inst.numSrc >= 1)
+        exec = std::max(exec, regReady_[inst.src1]);
+    if (inst.numSrc >= 2)
+        exec = std::max(exec, regReady_[inst.src2]);
+    if (inOrder_) {
+        exec = std::max(exec, lastIssue_);
+        lastIssue_ = exec;
+    }
+    Cycle r = exec + execLat;
+    if (inst.hasDst)
+        regReady_[inst.dst] = r;
+    if (inst.mispredict)
+        fetchStallUntil_ = r + mispredictPenalty_;
+
+    // Commit: in order, width-paced, gated by the sink.
+    Cycle cPre = std::max(r, lastCommit_);
+    if (count_ >= width_)
+        cPre = std::max(cPre,
+                        commitRing_[(count_ - width_) % robCap_] + 1);
+    Cycle c = std::max(cPre, sinkGate);
+    out.sinkWait = c - cPre;
+    commitRing_[count_ % robCap_] = c;
+    lastCommit_ = c;
+    ++count_;
+
+    out.dispatched = d;
+    out.ready = r;
+    out.committed = c;
+    return out;
+}
+
 Core::Core(const CoreParams &p, Cache *l1d)
     : params_(p), l1d_(l1d), robCap_(p.robSize)
 {
@@ -73,6 +141,29 @@ Core::threadStats(unsigned t) const
 {
     panic_if(t >= threads_.size(), "bad thread index");
     return threads_[t].stats;
+}
+
+ThreadStats &
+Core::runGrainThreadStats(unsigned t)
+{
+    panic_if(t >= threads_.size(), "bad thread index");
+    return threads_[t].stats;
+}
+
+unsigned
+Core::runGrainExecLatency(const Instruction &inst)
+{
+    // Mirrors the latency selection (and the cache side effects) of
+    // dispatchInst() exactly; the run-grain engine decides *when* the
+    // access lands, this decides *what* it costs.
+    if (inst.cls == InstClass::Load)
+        return l1d_ ? l1d_->access(inst.memAddr, false) : 2;
+    if (inst.cls == InstClass::Store) {
+        if (l1d_)
+            l1d_->access(inst.memAddr, true);
+        return 1;
+    }
+    return execLatency(inst.cls);
 }
 
 unsigned

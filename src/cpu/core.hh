@@ -62,6 +62,77 @@ struct ThreadStats
 };
 
 /**
+ * Closed-form per-thread timing recurrence of the run-grain engine
+ * (Engine::RunGrain, system/rungrain.hh). Models the same pipeline
+ * resources as Core — dispatch/commit width, a partitioned ROB,
+ * register dependences, in-order issue coupling, branch-redirect
+ * stalls, commit-sink backpressure — but advances a whole instruction
+ * run by recurrence instead of cycle-by-cycle state transitions. For
+ * instruction k with width W and ROB partition R:
+ *
+ *   d_k = max(d_{k-1}, d_{k-W} + 1, redirect, c_{k-R})     dispatch
+ *   e_k = max(d_k + 1, ready(srcs) [, e_{k-1} if in-order]) issue
+ *   r_k = e_k + latency                                     complete
+ *   c_k = max(r_k, c_{k-1}, c_{k-W} + 1, sinkGate)          commit
+ *
+ * The rings holding the last R commit and last W dispatch times are
+ * the entire state: one instruction costs O(1) regardless of how many
+ * cycles it spans. Each hardware thread gets dedicated width (the
+ * per-cycle engine shares slots round-robin between SMT threads),
+ * which is the engine's one structural timing divergence on
+ * dual-threaded cores (docs/ARCHITECTURE.md, "Run-grain engine").
+ */
+class RunGrainThread
+{
+  public:
+    /** Timing of one retired instruction. */
+    struct Retire
+    {
+        Cycle dispatched = 0;
+        Cycle ready = 0;
+        Cycle committed = 0;
+        /** Cycles dispatch waited on the full ROB partition. */
+        std::uint64_t robWait = 0;
+        /** Cycles dispatch waited on a branch redirect. */
+        std::uint64_t fetchWait = 0;
+        /** Cycles commit waited on the sink gate past readiness. */
+        std::uint64_t sinkWait = 0;
+    };
+
+    /** Bind the model to a core geometry and a ROB partition size. */
+    void configure(const CoreParams &p, unsigned robPartition);
+
+    /**
+     * Advance the recurrence by one instruction.
+     * @param inst      the retiring instruction
+     * @param execLat   execution latency (Core::runGrainExecLatency)
+     * @param fetchGate earliest dispatch cycle (source availability)
+     * @param sinkGate  earliest commit cycle (queue backpressure)
+     */
+    Retire retire(const Instruction &inst, unsigned execLat,
+                  Cycle fetchGate, Cycle sinkGate);
+
+    Cycle lastCommit() const { return lastCommit_; }
+    std::uint64_t retired() const { return count_; }
+
+  private:
+    unsigned width_ = 1;
+    unsigned robCap_ = 1;
+    bool inOrder_ = false;
+    unsigned mispredictPenalty_ = 0;
+    /** Commit times of the last robCap_ instructions (ring, k mod R). */
+    std::vector<Cycle> commitRing_;
+    /** Dispatch times of the last width_ instructions (ring, k mod W). */
+    std::vector<Cycle> dispatchRing_;
+    std::array<Cycle, numArchRegs> regReady_{};
+    Cycle lastIssue_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    Cycle lastDispatch_ = 0;
+    Cycle lastCommit_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
  * What the pipeline driver knows about one hardware thread's
  * instruction source for the current cycle (system/pipeline.hh). The
  * batched engine uses this to elide InstSource::available() calls whose
@@ -138,6 +209,27 @@ class Core
     unsigned numThreads() const { return unsigned(threads_.size()); }
     const CoreParams &params() const { return params_; }
     const ThreadStats &threadStats(unsigned t) const;
+
+    /**
+     * Run-grain engine support: the execution latency dispatchInst()
+     * would compute for @p inst, with the identical data-cache access
+     * (loads probe the L1d for their latency; stores keep the tags
+     * warm and complete through the store buffer in one cycle). The
+     * cache state evolves exactly as a per-cycle dispatch would evolve
+     * it; only the cycle the access lands on is modeled.
+     */
+    unsigned runGrainExecLatency(const Instruction &inst);
+
+    /** Run-grain engine support: mutable per-thread statistics, for
+     *  batch-applying modeled condition counters the way skipCycles()
+     *  batch-applies frozen spans. */
+    ThreadStats &runGrainThreadStats(unsigned t);
+
+    /** Run-grain engine support: batch-apply @p n elapsed cycles. */
+    void runGrainAddCycles(std::uint64_t n) { cycles_ += n; }
+
+    /** The thread's ROB partition (run-grain model geometry). */
+    unsigned robPartition() const { return robCap_; }
     std::uint64_t cycles() const { return cycles_; }
 
     /** All ROBs empty and no source has work. */

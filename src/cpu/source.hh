@@ -42,6 +42,24 @@ class InstSource
      *  fetchNext(). Cores skip the fetchNext probe entirely for
      *  sources that generate on demand. */
     virtual bool supportsRuns() const { return false; }
+
+    /**
+     * Ask the source to pre-produce up to @p n upcoming instructions
+     * for run service through fetchNext(), without changing the stream:
+     * staging must be bit-identical to on-demand generation (same
+     * instructions, same internal draw order). Sources that cannot
+     * stage return 0 — purely an optimization hint; the consumed
+     * stream is identical either way. The run-grain engine
+     * (system/rungrain.hh) stages one batch at a time and drains it
+     * fully before returning control, so external stream edits (e.g.
+     * TraceGenerator::injectBug) never interleave with staged work.
+     */
+    virtual std::size_t
+    stageRun(std::size_t n)
+    {
+        (void)n;
+        return 0;
+    }
 };
 
 /** Observes in-order retirement of one hardware thread. */

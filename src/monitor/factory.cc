@@ -42,6 +42,15 @@ monitorNames()
     return v;
 }
 
+const std::vector<std::string> &
+paperMonitorNames()
+{
+    static const std::vector<std::string> v = {
+        "AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "TaintCheck",
+    };
+    return v;
+}
+
 bool
 isPropagationMonitor(const std::string &name)
 {

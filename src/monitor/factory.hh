@@ -19,8 +19,14 @@ namespace fade
  *  MemLeak, AtomCheck). Fatal on unknown names. */
 std::unique_ptr<Monitor> makeMonitor(const std::string &name);
 
-/** All monitor names, in the paper's presentation order. */
+/** All monitor names, including the cross-shard thread monitors. */
 const std::vector<std::string> &monitorNames();
+
+/** The five lifeguards evaluated in the paper (Section 6), in its
+ *  presentation order. The figure/table harnesses that print measured
+ *  values next to published ones iterate these — the cross-shard
+ *  thread monitors have no paper counterpart. */
+const std::vector<std::string> &paperMonitorNames();
 
 /** True for the propagation-tracking monitors (Section 3.1). */
 bool isPropagationMonitor(const std::string &name);

@@ -216,6 +216,23 @@ class BoundedQueue
     const_iterator begin() const { return {this, 0}; }
     const_iterator end() const { return {this, count_}; }
 
+    /**
+     * Account one entry that transited this queue without ever being
+     * stored in it: one push, one pop, and an occupancy sample of
+     * @p occupancy — the depth the run-grain engine's timing model
+     * computed for the arrival (system/rungrain.hh). The engine moves
+     * events through a private staging slot, so the architectural
+     * queue's statistics are driven from modeled time instead of the
+     * (always-empty) host-side state.
+     */
+    void
+    accountTransit(std::size_t occupancy)
+    {
+        ++pushes_;
+        ++pops_;
+        occupancy_.sample(occupancy);
+    }
+
     std::uint64_t pushes() const { return pushes_; }
     std::uint64_t pops() const { return pops_; }
     std::uint64_t rejects() const { return rejects_; }

@@ -229,6 +229,19 @@ resultFingerprint(MultiCoreSystem &sys, const MultiCoreResult &r)
     return fp;
 }
 
+std::vector<std::uint64_t>
+MultiCoreSystem::functionalFingerprint()
+{
+    for (auto &s : shards_)
+        s->drain();
+    std::vector<std::uint64_t> fp;
+    for (auto &s : shards_) {
+        std::vector<std::uint64_t> sf = s->functionalFingerprint();
+        fp.insert(fp.end(), sf.begin(), sf.end());
+    }
+    return fp;
+}
+
 void
 MultiCoreSystem::warmup(std::uint64_t instructions)
 {

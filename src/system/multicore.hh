@@ -171,6 +171,19 @@ class MultiCoreSystem
     /** Run a measured slice of @p instructions per shard. */
     MultiCoreResult run(std::uint64_t instructions);
 
+    /**
+     * Drain every shard, then concatenate the shards' engine-invariant
+     * functional fingerprints (MonitoringSystem::functionalFingerprint
+     * — retirement/event counts, filter verdicts, handler work,
+     * monitor reports; no cycle-dependent values). The run-grain
+     * engine reproduces this vector bit for bit against the per-cycle
+     * reference when both engines cover the same per-shard instruction
+     * windows — e.g. replaying a run-grain-captured trace, whose
+     * streams end at exact retirement quotas (tests/test_tracefile.cc).
+     * Finishes the monitors; call once, after the last run() slice.
+     */
+    std::vector<std::uint64_t> functionalFingerprint();
+
     unsigned numShards() const { return unsigned(shards_.size()); }
     MonitoringSystem &shard(unsigned i) { return *shards_.at(i); }
     const MonitoringSystem &shard(unsigned i) const

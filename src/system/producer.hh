@@ -49,6 +49,32 @@ class EventProducer : public CommitSink
     /** Stall monitored retirement (used to drain the monitoring side). */
     void pause(bool p) { paused_ = p; }
 
+    /**
+     * Retarget event emission at @p eq (run-grain engine): the driver
+     * points the producer at a private staging slot it drains after
+     * every retirement, so the architectural event queue's statistics
+     * can be driven from modeled time (BoundedQueue::accountTransit)
+     * instead of host-side pushes. Passing the original queue restores
+     * the per-cycle wiring. Only legal between slices, with no event
+     * in flight.
+     */
+    void rebindQueue(BoundedQueue<MonEvent> *eq) { eq_ = eq; }
+
+    /**
+     * Run-grain fast path: retire @p inst with the monitored verdict
+     * already decided by the caller (one Monitor::monitored() query per
+     * retirement, exactly like commitIfAllowed). The caller has already
+     * applied event-queue backpressure in its timing model, so the
+     * commit always succeeds.
+     */
+    void
+    commitDecided(const Instruction &inst, bool monitored)
+    {
+        ++retired_;
+        if (mon_ && eq_)
+            produce(inst, monitored);
+    }
+
     void
     onCommit(const Instruction &inst) override
     {

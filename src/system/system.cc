@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "system/pipeline.hh"
+#include "system/rungrain.hh"
 #include "trace/threads.hh"
 #include "trace/tracefile.hh"
 
@@ -154,6 +155,35 @@ MonitoringSystem::MonitoringSystem(const SystemConfig &cfg,
 
     if (cfg_.engine == Engine::Batched)
         driver_ = std::make_unique<PipelineDriver>(*this);
+    else if (cfg_.engine == Engine::RunGrain)
+        rg_ = std::make_unique<RunGrainDriver>(*this);
+}
+
+const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::PerCycle:
+        return "percycle";
+      case Engine::Batched:
+        return "batched";
+      case Engine::RunGrain:
+        return "rungrain";
+    }
+    return "unknown";
+}
+
+Engine
+parseEngine(const std::string &name)
+{
+    if (name == "percycle")
+        return Engine::PerCycle;
+    if (name == "batched")
+        return Engine::Batched;
+    if (name == "rungrain")
+        return Engine::RunGrain;
+    fatal("unknown engine '", name,
+          "' (expected percycle, batched or rungrain)");
 }
 
 MonitoringSystem::~MonitoringSystem() = default;
@@ -244,12 +274,60 @@ MonitoringSystem::resetStats()
     if (ownedL2_)
         ownedL2_->resetStats();
     perfectConsumed_ = 0;
+    if (rg_)
+        rg_->onResetStats();
 }
 
 std::uint64_t
 MonitoringSystem::retired() const
 {
     return producer_->retired();
+}
+
+std::uint64_t
+MonitoringSystem::produced() const
+{
+    return producer_->produced();
+}
+
+std::vector<std::uint64_t>
+MonitoringSystem::functionalFingerprint()
+{
+    std::vector<std::uint64_t> fp = {producer_->retired(),
+                                     producer_->produced()};
+    if (mproc_) {
+        fp.push_back(mproc_->stats().instructions);
+        fp.push_back(mproc_->stats().handlers);
+    } else {
+        fp.insert(fp.end(), {0, 0});
+    }
+    if (fades_)
+        fades_->finalizeBursts();
+    const FadeStats f = fadeStats();
+    fp.insert(fp.end(),
+              {f.instEvents, f.filtered, f.filteredCC, f.filteredRU,
+               f.partialPass, f.partialFail, f.unfiltered, f.stackEvents,
+               f.highLevelEvents, f.shots, f.comparisons,
+               f.crossShardEvents, f.suuCycles});
+    auto hist = [&fp](const Log2Histogram &h) {
+        fp.push_back(h.total());
+        fp.push_back(h.maxValue());
+        for (std::uint64_t b : h.buckets())
+            fp.push_back(b);
+    };
+    hist(f.unfDistance);
+    hist(f.unfBurst);
+    for (std::uint64_t c : f.filteredById)
+        fp.push_back(c);
+    for (std::uint64_t c : f.softwareById)
+        fp.push_back(c);
+    if (mon_) {
+        mon_->finish();
+        fp.push_back(mon_->reports().size());
+    } else {
+        fp.push_back(0);
+    }
+    return fp;
 }
 
 void
@@ -263,6 +341,8 @@ RunResult
 MonitoringSystem::endSlice()
 {
     RunResult r;
+    if (rg_)
+        rg_->finalizeSlice();
     r.appInstructions = producer_->retired();
     r.cycles = now_ - sliceStart_;
     r.monitoredEvents = producer_->produced();
@@ -287,6 +367,8 @@ std::uint64_t
 MonitoringSystem::advance(std::uint64_t maxCycles,
                           std::uint64_t targetRetired)
 {
+    if (rg_)
+        return rg_->runUntil(maxCycles, targetRetired);
     if (driver_)
         return driver_->runUntil(maxCycles, targetRetired);
     Cycle start = now_;

@@ -21,6 +21,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/fade.hh"
 #include "cpu/core.hh"
@@ -38,15 +40,22 @@ namespace fade
 
 class CaptureSource;
 class PipelineDriver;
+class RunGrainDriver;
 class ReplaySource;
 class ThreadedSource;
 class TraceReader;
 class TraceWriter;
 
 /**
- * Intra-shard execution engine. Both engines produce bit-identical
- * statistics (tests/test_pipeline.cc); they differ only in wall-clock
- * cost.
+ * Intra-shard execution engine. PerCycle and Batched produce
+ * bit-identical statistics (tests/test_pipeline.cc) and differ only in
+ * wall-clock cost. RunGrain additionally replaces per-cycle timing with
+ * closed-form recurrences between monitor-visible events: it preserves
+ * every functional result bit for bit (instruction stream, event
+ * stream, filter verdicts, handler counts, bug reports — the
+ * functionalFingerprint() subset) but models timing counters with its
+ * own deterministic equations (docs/ARCHITECTURE.md, "Run-grain
+ * engine").
  */
 enum class Engine : std::uint8_t
 {
@@ -58,7 +67,18 @@ enum class Engine : std::uint8_t
      *  with allocation-free fused stepping and fast-forwards provably
      *  frozen spans with exact batch accounting. */
     Batched,
+    /** Run-grain engine (system/rungrain.hh): closed-form dispatch /
+     *  commit / filter-pipeline timing between monitor-visible events;
+     *  functional results identical to PerCycle, timing counters
+     *  modeled (deterministic, pinned by their own goldens). */
+    RunGrain,
 };
+
+/** Printable engine name ("percycle", "batched", "rungrain"). */
+const char *engineName(Engine e);
+
+/** Parse an engine name as printed by engineName(); fatal on junk. */
+Engine parseEngine(const std::string &name);
 
 /** Full system configuration. */
 struct SystemConfig
@@ -196,8 +216,24 @@ class MonitoringSystem
     /** App instructions retired since the last statistics reset. */
     std::uint64_t retired() const;
 
+    /** Monitored events produced since the last statistics reset. */
+    std::uint64_t produced() const;
+
     /** Let in-flight events and handlers complete (producer paused). */
     void drain();
+
+    /**
+     * The engine-invariant functional fingerprint: every value a run
+     * produces that does not depend on the timing model — retirement
+     * and event counts, filter verdicts, SUU work, handler work, the
+     * event-indexed unfiltered histograms, and monitor reports. The
+     * run-grain engine reproduces this vector bit for bit against the
+     * per-cycle reference when both cover the same instruction window
+     * (docs/ARCHITECTURE.md, "Run-grain engine"). Call it once, after
+     * the system is quiesced with drain(): it finishes the monitor
+     * (end-of-run sweeps such as MemLeak's) before reading reports.
+     */
+    std::vector<std::uint64_t> functionalFingerprint();
 
     /** Zero every statistics counter in the system. */
     void resetStats();
@@ -242,6 +278,10 @@ class MonitoringSystem
      *  (host-side accounting; include system/pipeline.hh to use). */
     const PipelineDriver *pipelineDriver() const { return driver_.get(); }
 
+    /** The run-grain driver, or nullptr unless Engine::RunGrain
+     *  (include system/rungrain.hh to use). */
+    const RunGrainDriver *runGrainDriver() const { return rg_.get(); }
+
     /** Advance the whole system by one cycle (tests). */
     void tickOnce();
 
@@ -260,6 +300,7 @@ class MonitoringSystem
 
   private:
     friend class PipelineDriver;
+    friend class RunGrainDriver;
 
     void tickAll();
     /** Tick until @p instructions more retire (shared by warmup/run). */
@@ -293,6 +334,8 @@ class MonitoringSystem
 
     /** Run-to-stall driver (Engine::Batched only). */
     std::unique_ptr<PipelineDriver> driver_;
+    /** Run-grain driver (Engine::RunGrain only). */
+    std::unique_ptr<RunGrainDriver> rg_;
 
     Cycle now_ = 0;
     Cycle sliceStart_ = 0;

@@ -169,6 +169,30 @@ FadeGroup::skipCycles(const FadeGroupStallProfile &p, std::uint64_t n)
         units_[i]->skipCycles(p.units[i], n);
 }
 
+FadeGroup::RunGrainSteered
+FadeGroup::processEventRunGrain(MonEvent ev)
+{
+    RunGrainSteered s;
+    if (units_.size() == 1) {
+        // Transparent wrapper: no steering, no steered_ accounting
+        // (matches the per-cycle single-unit group exactly).
+        s.unit = 0;
+        s.outcome = units_[0]->processEventRunGrain(ev);
+        return s;
+    }
+    // Strict rotation, serial events included: with the group quiescent
+    // between calls, steer() would pass its serializer/allQuiesced/
+    // inlet gates immediately and pick rr_ for every event class.
+    s.unit = rr_;
+    ev.unit = std::uint8_t(rr_);
+    ++steered_[rr_];
+    if (!ev.isInst())
+        ++serialized_;
+    rr_ = rr_ + 1 == units_.size() ? 0 : rr_ + 1;
+    s.outcome = units_[s.unit]->processEventRunGrain(ev);
+    return s;
+}
+
 bool
 FadeGroup::quiesced() const
 {

@@ -153,6 +153,25 @@ class FadeGroup
         units_[ev.unit]->handlerDone(ev.seq);
     }
 
+    /** Outcome of one eager-steered event (run-grain engine). */
+    struct RunGrainSteered
+    {
+        RunGrainEventOutcome outcome;
+        /** Unit the rotation chose (timing model: per-unit pipes). */
+        unsigned unit = 0;
+    };
+
+    /**
+     * Run-grain engine: steer @p ev with the identical strict rotation
+     * steer() applies — same unit choice, same unit stamp, same
+     * steered/serialized accounting — and process it to completion in
+     * that unit (Fade::processEventRunGrain). The group is quiescent
+     * between calls by the driver's eager-serialized discipline, so
+     * the per-cycle serializer gates (allQuiesced, inlet capacity) are
+     * satisfied trivially and the rotation order is preserved exactly.
+     */
+    RunGrainSteered processEventRunGrain(MonEvent ev);
+
     /** Every unit quiesced and every inlet drained (the shard's EQ is
      *  the caller's to check). */
     bool quiesced() const;

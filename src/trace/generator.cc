@@ -927,6 +927,26 @@ TraceGenerator::injectBug(TruthBits kind)
 Instruction
 TraceGenerator::fetch()
 {
+    if (!staged_.empty()) {
+        // Already counted into emitted_ at synthesis time (stageRun).
+        Instruction i = staged_.front();
+        staged_.pop_front();
+        return i;
+    }
+    return synthOne();
+}
+
+std::size_t
+TraceGenerator::stageRun(std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        staged_.push_back(synthOne());
+    return n;
+}
+
+Instruction
+TraceGenerator::synthOne()
+{
     ++emitted_;
 
     if (!pending_.empty()) {

@@ -44,16 +44,22 @@ class TraceGenerator : public InstSource
     Instruction fetch() override;
 
     /**
-     * Run-replay fast path (cpu/source.hh): staged pending
-     * instructions (allocator bookkeeping, init stores, spills) are
-     * handed out in place — the core copies straight into its ROB slot
-     * with no intermediate copy. Bit-identical to fetch()'s pending
-     * branch; a nullptr falls back to fetch() for on-demand
-     * generation.
+     * Run-replay fast path (cpu/source.hh): staged and pending
+     * instructions (pre-synthesized runs, allocator bookkeeping, init
+     * stores, spills) are handed out in place — the core copies
+     * straight into its ROB slot with no intermediate copy.
+     * Bit-identical to fetch(); a nullptr falls back to fetch() for
+     * on-demand generation.
      */
     const Instruction *
     fetchNext() override
     {
+        if (!staged_.empty()) {
+            // Counted into emitted_ when synthesized (stageRun).
+            const Instruction *i = &staged_.front();
+            staged_.pop_front();
+            return i;
+        }
         if (pending_.empty())
             return nullptr;
         ++emitted_;
@@ -62,6 +68,20 @@ class TraceGenerator : public InstSource
         return i;
     }
     bool supportsRuns() const override { return true; }
+
+    /**
+     * Pre-synthesize the next @p n instructions of the stream into the
+     * staging ring, to be served by fetchNext()/fetch() before any
+     * on-demand synthesis. The staged instructions are produced by the
+     * exact fetch() path — same RNG draw order, same emitted_
+     * accounting, same pending-queue handling — so the consumed stream
+     * is bit-identical to unstaged generation. Callers must drain the
+     * stage before any injectBug() call: a bug splices at the synthesis
+     * point, which staging moves ahead of consumption (the run-grain
+     * driver stages only what it consumes within one batch).
+     * @return the number of instructions staged (always @p n here).
+     */
+    std::size_t stageRun(std::size_t n) override;
 
     /** Splice an injected bug into the upcoming stream. */
     void injectBug(TruthBits kind);
@@ -294,7 +314,13 @@ class TraceGenerator : public InstSource
 
     void eraseWordRange(Addr base, std::uint64_t lenBytes);
 
+    /** One synthesized instruction: the former fetch() body (the
+     *  pending-queue branch plus on-demand synthesis). */
+    Instruction synthOne();
+
     RingDeque<Instruction> pending_;
+    /** Pre-synthesized run (stageRun), served before pending_. */
+    RingDeque<Instruction> staged_;
     std::uint64_t emitted_ = 0;
     std::uint64_t seqTick_ = 0;
 

@@ -341,6 +341,14 @@ class CaptureSource : public InstSource
 
     bool supportsRuns() const override { return inner_.supportsRuns(); }
 
+    /** Staging happens in the inner source; the tee appends records at
+     *  consumption time (fetch/fetchNext), so capture order is
+     *  unaffected. */
+    std::size_t stageRun(std::size_t n) override
+    {
+        return inner_.stageRun(n);
+    }
+
     /** Emit buffered records as a block (slice-barrier hook). */
     void flush() { writer_.flush(stream_); }
 

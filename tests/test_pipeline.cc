@@ -1,22 +1,40 @@
 /**
  * @file
- * Run-to-stall pipeline engine tests: the batched engine
- * (Engine::Batched, system/pipeline.hh) must produce bit-identical
- * results to the per-cycle reference engine for every configuration —
- * the acceptance contract of the engine. Fingerprints come from
- * resultFingerprint(), which flattens every simulated value a run
- * produces (aggregate + per-shard results, all FADE counters,
- * occupancy histograms, bug reports, shared-L2 counters).
+ * Engine-equality tests.
+ *
+ * Run-to-stall batched engine (Engine::Batched, system/pipeline.hh):
+ * must produce bit-identical results to the per-cycle reference engine
+ * for every configuration — the acceptance contract of the engine.
+ * Fingerprints come from resultFingerprint(), which flattens every
+ * simulated value a run produces (aggregate + per-shard results, all
+ * FADE counters, occupancy histograms, bug reports, shared-L2
+ * counters).
+ *
+ * Run-grain engine (Engine::RunGrain, system/rungrain.hh): timing is
+ * modeled in closed form, so its cycle counts diverge from the
+ * reference by design; the contract is instead (a) bit-identical
+ * *functional* results (MonitoringSystem::functionalFingerprint) on
+ * matched instruction windows for every monitor whose handlers do not
+ * feed filter-visible state back while younger events are already in
+ * the filter pipe, (b) precisely-pinned divergence shapes for the
+ * configurations that do feed state back (the per-cycle pipeline
+ * gathers metadata / prepares handlers ahead of older handlers'
+ * effects; run-grain is strictly event-serial), and (c) full
+ * determinism and scheduler-policy invariance of the run-grain results
+ * themselves — docs/ARCHITECTURE.md, "Run-grain engine".
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "monitor/factory.hh"
+#include "monitor/process.hh"
 #include "system/multicore.hh"
 #include "system/pipeline.hh"
+#include "system/rungrain.hh"
 #include "trace/profile.hh"
 
 namespace fade
@@ -202,8 +220,9 @@ TEST(PipelineEngine, DriverAccountingIsSane)
     EXPECT_GE(ps.fusedCycles + ps.skippedCycles, r.cycles);
     EXPECT_LE(ps.fusedCycles + ps.skippedCycles, sys.now());
     EXPECT_GE(ps.skippedCycles, ps.jumps); // every jump skips >= 1
-    if (ps.jumps > 0)
+    if (ps.jumps > 0) {
         EXPECT_GT(ps.skippedCycles, 0u);
+    }
 }
 
 TEST(PipelineEngine, PerCycleSystemHasNoDriver)
@@ -211,6 +230,335 @@ TEST(PipelineEngine, PerCycleSystemHasNoDriver)
     SystemConfig cfg;
     MonitoringSystem sys(cfg, specProfile("astar"), nullptr);
     EXPECT_EQ(sys.pipelineDriver(), nullptr);
+    EXPECT_EQ(sys.runGrainDriver(), nullptr);
+}
+
+namespace
+{
+
+/**
+ * One single-shard run under @p eng, quiesced: run to @p target
+ * retirements, drain, and return the cumulative functional
+ * fingerprint. @p retiredOut receives the post-drain retirement count
+ * (per-cycle overshoots the target by up to commit-width-1 and retires
+ * an unmonitored tail during drain; run-grain stops exactly on
+ * target), which is how the caller matches windows across engines.
+ */
+std::vector<std::uint64_t>
+functionalRun(Engine eng, const std::string &monitor,
+              const BenchProfile &prof,
+              std::uint64_t target, void (*tweak)(SystemConfig &),
+              std::uint64_t *retiredOut = nullptr)
+{
+    SystemConfig cfg;
+    cfg.engine = eng;
+    if (tweak)
+        tweak(cfg);
+    std::unique_ptr<Monitor> mon;
+    if (!monitor.empty())
+        mon = makeMonitor(monitor);
+    MonitoringSystem sys(cfg, prof, mon.get());
+    sys.run(target);
+    sys.drain();
+    if (retiredOut)
+        *retiredOut = sys.retired();
+    return sys.functionalFingerprint();
+}
+
+/** Per-cycle reference vs run-grain on a matched instruction window. */
+void
+expectRunGrainFunctional(const std::string &monitor,
+                         const BenchProfile &prof,
+                         void (*tweak)(SystemConfig &) = nullptr)
+{
+    std::uint64_t matched = 0;
+    std::vector<std::uint64_t> ref =
+        functionalRun(Engine::PerCycle, monitor, prof, kRun, tweak,
+                      &matched);
+    EXPECT_EQ(functionalRun(Engine::RunGrain, monitor, prof, matched,
+                            tweak),
+              ref);
+}
+
+} // namespace
+
+TEST(RunGrainEngine, FunctionalMatchAcrossSpecProfiles)
+{
+    // Every SPEC profile: run-grain reproduces every functional value
+    // the per-cycle reference computes, bit for bit.
+    for (const std::string &b : specBenchmarks()) {
+        SCOPED_TRACE(b);
+        expectRunGrainFunctional("AddrCheck", specProfile(b));
+    }
+}
+
+TEST(RunGrainEngine, FunctionalMatchFeedbackFreeMonitors)
+{
+    // Monitors whose software handlers never change what the filters
+    // see (reporting-only handlers): exact functional equality under
+    // the default non-blocking FADE.
+    for (const char *m : {"AddrCheck", "MemCheck"}) {
+        for (const char *b : {"astar", "gcc"}) {
+            SCOPED_TRACE(testing::Message() << m << "/" << b);
+            expectRunGrainFunctional(m, specProfile(b));
+        }
+    }
+}
+
+TEST(RunGrainEngine, FunctionalMatchFeedbackMonitorsBlockingFade)
+{
+    // TaintCheck handlers write metadata the filters read. Under a
+    // non-blocking FADE the per-cycle reference filters events against
+    // pre-handler state while the handler is still in flight; run-grain
+    // always applies handler effects eagerly, so that configuration
+    // legitimately diverges (pinned by run-grain's own goldens
+    // instead). A *blocking* FADE closes the window to at most one
+    // event — the one whose metadata gather was already latched in the
+    // MDR stage the cycle the filter blocked — and on these profiles no
+    // taint-dependent event ever occupies that slot, so equality is
+    // exact, pinning the divergence to the documented feedback
+    // mechanism. (MemLeak *does* hit the one-event window — a pointer
+    // copy right behind the unfiltered event that re-homes the same
+    // register — so even blocking FADE diverges for it; see
+    // DocumentedDivergencesAreReal below.)
+    for (const char *b : {"astar", "hmmer"}) {
+        SCOPED_TRACE(b);
+        expectRunGrainFunctional("TaintCheck", specProfile(b),
+                                 [](SystemConfig &c) {
+                                     c.fade.nonBlocking = false;
+                                 });
+    }
+}
+
+TEST(RunGrainEngine, FunctionalMatchAcrossSystemVariants)
+{
+    struct Variant
+    {
+        const char *name;
+        const char *monitor;
+        void (*apply)(SystemConfig &);
+    };
+    const Variant variants[] = {
+        {"twoCore", "AddrCheck",
+         [](SystemConfig &c) { c.twoCore = true; }},
+        // Unaccelerated + feedback monitor: the monitor process runs
+        // handlers serially off one queue in both engines, so eager
+        // execution is already the reference semantics. (Unaccelerated
+        // AddrCheck is covered by UnacceleratedDivergesOnlyInHandler-
+        // Length below: its handler *sequence length* depends on
+        // prepare-time metadata, which per-cycle's pipelined prepare
+        // reads one handler early.)
+        {"unacceleratedTaint", "TaintCheck",
+         [](SystemConfig &c) { c.accelerated = false; }},
+        {"perfectConsumer", "AddrCheck",
+         [](SystemConfig &c) {
+             c.perfectConsumer = true;
+             c.eqCapacity = 0;
+         }},
+        {"blockingFade", "AddrCheck",
+         [](SystemConfig &c) { c.fade.nonBlocking = false; }},
+        {"inOrderCore", "AddrCheck",
+         [](SystemConfig &c) { c.core = inOrderParams(); }},
+        {"leanCoreTinyQueues", "AddrCheck",
+         [](SystemConfig &c) {
+             c.core = leanOooParams();
+             c.eqCapacity = 4;
+             c.ueqCapacity = 2;
+         }},
+        {"unmonitored", "", nullptr},
+    };
+    for (const Variant &v : variants) {
+        SCOPED_TRACE(v.name);
+        expectRunGrainFunctional(v.monitor, specProfile("gcc"), v.apply);
+    }
+}
+
+TEST(RunGrainEngine, UnacceleratedDivergesOnlyInHandlerLength)
+{
+    // Unaccelerated AddrCheck: every event runs a software handler, and
+    // AddrCheck's handler sequence is *longer* when the accessed word
+    // is unallocated at prepare time (the report path). The per-cycle
+    // monitor process prepares handler n+1 as soon as handler n is
+    // fully fetched — before n's commits apply handleEvent — so
+    // back-to-back handlers over the same word see pre-update state and
+    // build the long sequence; run-grain prepares strictly after the
+    // previous handler's effects. Handler *count*, verdicts, and
+    // reports are identical; only committed handler instructions
+    // (fingerprint slot 2) differ.
+    std::uint64_t matched = 0;
+    auto tweak = [](SystemConfig &c) { c.accelerated = false; };
+    std::vector<std::uint64_t> ref = functionalRun(
+        Engine::PerCycle, "AddrCheck", specProfile("gcc"), kRun, tweak,
+        &matched);
+    std::vector<std::uint64_t> grain = functionalRun(
+        Engine::RunGrain, "AddrCheck", specProfile("gcc"), matched,
+        tweak);
+    ASSERT_EQ(grain.size(), ref.size());
+    EXPECT_NE(grain[2], ref[2]); // handlerInstructions: prepare skew
+    grain[2] = ref[2] = 0;
+    EXPECT_EQ(grain, ref); // everything else is bit-identical
+}
+
+TEST(RunGrainEngine, DocumentedDivergencesAreReal)
+{
+    // The configurations docs/ARCHITECTURE.md lists as functionally
+    // divergent really do diverge — if a future change makes one of
+    // them converge, this test flags it so the docs (and possibly the
+    // equality matrix above) can be tightened:
+    //  - TaintCheck, default non-blocking FADE: handlers feed filter
+    //    metadata asynchronously while filtering continues.
+    //  - MemLeak, blocking FADE: the event latched in MDR when the
+    //    filter blocks gathers pre-handler register metadata.
+    //  - AddrCheck, drainOnHighLevel = false: malloc/free handlers
+    //    race the filter pipe instead of draining it.
+    struct Case
+    {
+        const char *name;
+        const char *monitor;
+        const char *profile;
+        std::uint64_t target;
+        void (*apply)(SystemConfig &);
+    };
+    const Case cases[] = {
+        // Taint sources are rare (~5e-5/inst), so the async window
+        // needs a longer run before a tainted pointer-copy lands in
+        // it; 4 * kRun diverges reliably on astar.
+        {"taintNonBlocking", "TaintCheck", "astar", 4 * kRun, nullptr},
+        {"memLeakBlocking", "MemLeak", "astar", kRun,
+         [](SystemConfig &c) { c.fade.nonBlocking = false; }},
+        {"noDrainOnHighLevel", "AddrCheck", "gcc", kRun,
+         [](SystemConfig &c) { c.fade.drainOnHighLevel = false; }},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        std::uint64_t matched = 0;
+        std::vector<std::uint64_t> ref = functionalRun(
+            Engine::PerCycle, c.monitor, specProfile(c.profile),
+            c.target, c.apply, &matched);
+        EXPECT_NE(functionalRun(Engine::RunGrain, c.monitor,
+                                specProfile(c.profile), matched,
+                                c.apply),
+                  ref);
+    }
+}
+
+TEST(RunGrainEngine, ResultsAreDeterministic)
+{
+    // The full run-grain fingerprint — modeled timing included — is
+    // reproducible run over run, for feedback monitors too. This is
+    // what lets run-grain results be pinned by their own goldens.
+    for (const char *m : {"AddrCheck", "TaintCheck"}) {
+        SCOPED_TRACE(m);
+        MultiCoreConfig cfg = baseConfig("astar", 2);
+        cfg.monitor = m;
+        cfg.engine = Engine::RunGrain;
+        EXPECT_EQ(runOnce(cfg), runOnce(cfg));
+    }
+}
+
+TEST(RunGrainEngine, PolicyInvariantAcrossShardCounts)
+{
+    // Scheduler policy must not leak into run-grain results any more
+    // than it does into per-cycle results: Lockstep and ParallelBatched
+    // agree bit for bit on the full fingerprint.
+    for (unsigned n : {1u, 2u, 4u}) {
+        SCOPED_TRACE(n);
+        MultiCoreConfig cfg = baseConfig("hmmer", n);
+        cfg.engine = Engine::RunGrain;
+        cfg.scheduler.hostThreads = 4;
+        cfg.scheduler.policy = SchedulerPolicy::Lockstep;
+        std::vector<std::uint64_t> a = runOnce(cfg, 3000, 6000);
+        cfg.scheduler.policy = SchedulerPolicy::ParallelBatched;
+        EXPECT_EQ(runOnce(cfg, 3000, 6000), a);
+    }
+}
+
+TEST(RunGrainEngine, FunctionalInvariantAcrossTopologies)
+{
+    // The clustered L2 changes *when* accesses happen, never *what*
+    // the monitor computes: under run-grain (exact per-shard windows,
+    // no timing-driven retirement boundaries) every event count,
+    // filter verdict, handler count and bug report is identical across
+    // flat and clustered topologies. Three fingerprint families are
+    // deliberately excluded because they are per-unit / latency-coupled
+    // rather than verdict-level: suuCycles (the SUU's stack walk pays
+    // MD-cache miss latencies, which the cluster shape changes) and the
+    // unfiltered-distance/burst histograms (distances are counted per
+    // filter unit, so multi-FADE steering splits them differently).
+    MultiCoreConfig cfg = baseConfig("astar", 4);
+    cfg.engine = Engine::RunGrain;
+    auto invariantSubset = [](MultiCoreSystem &sys) {
+        std::vector<std::uint64_t> fp;
+        for (unsigned i = 0; i < sys.numShards(); ++i)
+            sys.shard(i).drain();
+        for (unsigned i = 0; i < sys.numShards(); ++i) {
+            MonitoringSystem &s = sys.shard(i);
+            fp.push_back(s.retired());
+            fp.push_back(s.produced());
+            if (const MonitorProcess *mp = s.monitorProcess()) {
+                fp.push_back(mp->stats().instructions);
+                fp.push_back(mp->stats().handlers);
+            }
+            const FadeStats f = s.fadeStats();
+            for (std::uint64_t v :
+                 {f.instEvents, f.filtered, f.filteredCC, f.filteredRU,
+                  f.partialPass, f.partialFail, f.unfiltered,
+                  f.stackEvents, f.highLevelEvents, f.shots,
+                  f.comparisons, f.crossShardEvents})
+                fp.push_back(v);
+            for (std::uint64_t c : f.filteredById)
+                fp.push_back(c);
+            for (std::uint64_t c : f.softwareById)
+                fp.push_back(c);
+            if (Monitor *m = sys.monitor(i)) {
+                m->finish();
+                fp.push_back(m->reports().size());
+            }
+        }
+        return fp;
+    };
+    std::vector<std::uint64_t> ref;
+    for (unsigned clusters : {1u, 2u}) {
+        for (unsigned fades : {1u, 2u}) {
+            SCOPED_TRACE(testing::Message() << clusters << "x" << fades);
+            MultiCoreConfig c = cfg;
+            c.topology.clusters = clusters;
+            c.topology.fadesPerShard = fades;
+            MultiCoreSystem sys(c);
+            sys.warmup(kWarm);
+            sys.run(kRun);
+            std::vector<std::uint64_t> fp = invariantSubset(sys);
+            if (ref.empty())
+                ref = fp;
+            else
+                EXPECT_EQ(fp, ref);
+        }
+    }
+}
+
+TEST(RunGrainEngine, DriverAccountingIsSane)
+{
+    SystemConfig cfg;
+    cfg.engine = Engine::RunGrain;
+    auto mon = makeMonitor("AddrCheck");
+    MonitoringSystem sys(cfg, specProfile("astar"), mon.get());
+    ASSERT_NE(sys.runGrainDriver(), nullptr);
+    EXPECT_EQ(sys.pipelineDriver(), nullptr);
+    sys.warmup(kWarm);
+    RunResult r = sys.run(kRun);
+    const RunGrainDriverStats &gs = sys.runGrainDriver()->stats();
+    // Driver counters are cumulative (warmup included), so they bound
+    // the measured slice from above.
+    EXPECT_GE(gs.instructions, r.appInstructions);
+    EXPECT_GE(gs.events, r.monitoredEvents);
+    // Every modeled cycle is closed-formed, fast-forwarded, or stepped
+    // through the SUU; the decomposition never exceeds the clock.
+    EXPECT_LE(gs.cyclesClosedFormed + gs.cyclesStepped, sys.now());
+    EXPECT_GT(gs.cyclesClosedFormed + gs.cyclesFastForwarded +
+                  gs.cyclesStepped,
+              0u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.appInstructions, 0u);
 }
 
 } // namespace fade

@@ -19,7 +19,13 @@
  *    (they carry placement-invariant keys); timing fingerprints
  *    legitimately differ. Within one fixed shape the full result
  *    fingerprint must be bit-identical across scheduler policies and
- *    engines, and across repeats.
+ *    engines sharing the per-cycle timing model, and across repeats.
+ *  - The run-grain engine is in the detection matrix too: thread
+ *    interleaving is retirement-quantum-driven, so the instruction
+ *    streams — and with them the report unions — are engine-invariant
+ *    even though run-grain's modeled cycle counts are not. Its full
+ *    fingerprint is pinned per shape against a run-grain reference
+ *    (policy-invariant, deterministic).
  */
 
 #include <algorithm>
@@ -122,7 +128,8 @@ struct Shape
 constexpr Shape matrixShapes[] = {{1, 1}, {2, 1}, {4, 1}, {4, 2}};
 constexpr SchedulerPolicy matrixPolicies[] = {
     SchedulerPolicy::Lockstep, SchedulerPolicy::ParallelBatched};
-constexpr Engine matrixEngines[] = {Engine::PerCycle, Engine::Batched};
+constexpr Engine matrixEngines[] = {Engine::PerCycle, Engine::Batched,
+                                    Engine::RunGrain};
 
 /** Run the full N x policy x engine x topology matrix and demand the
  *  report union matches the N=1 reference bit for bit everywhere. */
@@ -202,28 +209,45 @@ TEST(ThreadMatrix, MonitorsStayInTheirLane)
 TEST(ThreadMatrix, RepeatedRunsAreDeterministic)
 {
     const BenchProfile p = processProfile(3, 1);
-    const MultiCoreConfig cfg =
-        processConfig(p, "RaceCheck", 4, 2,
-                      SchedulerPolicy::ParallelBatched, Engine::Batched);
-    ProcessRun a = runProcess(cfg, p);
-    ProcessRun b = runProcess(cfg, p);
-    EXPECT_EQ(a.fingerprint, b.fingerprint);
-    EXPECT_EQ(a.reports, b.reports);
+    for (Engine eng : {Engine::Batched, Engine::RunGrain}) {
+        const MultiCoreConfig cfg =
+            processConfig(p, "RaceCheck", 4, 2,
+                          SchedulerPolicy::ParallelBatched, eng);
+        ProcessRun a = runProcess(cfg, p);
+        ProcessRun b = runProcess(cfg, p);
+        EXPECT_EQ(a.fingerprint, b.fingerprint) << unsigned(eng);
+        EXPECT_EQ(a.reports, b.reports) << unsigned(eng);
+    }
 }
 
 TEST(ThreadMatrix, PolicyAndEngineBitIdenticalPerShape)
 {
+    // Per-cycle and batched share one timing model, so their full
+    // fingerprints (cycle counts included) match the per-shape
+    // reference bit for bit under either scheduler policy. The
+    // run-grain engine models timing: its full fingerprint is pinned
+    // against its own per-shape reference instead — still
+    // policy-invariant — while its reports join the cross-engine
+    // detection matrix above.
     const BenchProfile p = processProfile(2, 1);
     for (const Shape &s : {Shape{2, 1}, Shape{4, 2}}) {
         ProcessRun ref = runProcess(
             processConfig(p, "RaceCheck", s.shards, s.clusters), p);
+        ProcessRun grainRef = runProcess(
+            processConfig(p, "RaceCheck", s.shards, s.clusters,
+                          SchedulerPolicy::Lockstep, Engine::RunGrain),
+            p);
+        EXPECT_EQ(grainRef.reports, ref.reports)
+            << "shards=" << s.shards;
         for (SchedulerPolicy pol : matrixPolicies)
             for (Engine eng : matrixEngines) {
                 ProcessRun run = runProcess(
                     processConfig(p, "RaceCheck", s.shards, s.clusters,
                                   pol, eng),
                     p);
-                EXPECT_EQ(run.fingerprint, ref.fingerprint)
+                const ProcessRun &want =
+                    eng == Engine::RunGrain ? grainRef : ref;
+                EXPECT_EQ(run.fingerprint, want.fingerprint)
                     << "shards=" << s.shards << " policy="
                     << unsigned(pol) << " engine=" << unsigned(eng);
             }

@@ -13,6 +13,12 @@
  *   files fail with TraceError, never UB (run under ASan/UBSan in CI).
  * - GoldenCorpus: committed traces under tests/golden/ replay to the
  *   fingerprint hash recorded in their manifests.
+ * - RunGrainReplay: the run-grain engine's modeled timing keeps it out
+ *   of the cycle-exact hash matrix, but its captures end every stream
+ *   at the exact retirement quota, so full-stream replays cover the
+ *   identical instruction window under any engine — the functional
+ *   fingerprints must then match bit for bit; golden traces replay
+ *   deterministically under it.
  */
 
 #include <gtest/gtest.h>
@@ -644,17 +650,23 @@ TEST(ReplayGuards, ReplayConfigNeedsManifest)
 // Golden corpus (committed traces; CI replays them on every change)
 // ---------------------------------------------------------------------
 
+const char *const kGoldenFiles[] = {
+    "hmmer_memleak_n1.ftrace",   "gcc_addrcheck_n4.ftrace",
+    "mcf_taintcheck_n1.ftrace",  "ocean_atomcheck_n2.ftrace",
+    "astar_memcheck_2x2x2.ftrace",
+    "ocean_mt4_racecheck_2x2.ftrace",
+};
+
+std::string
+goldenPath(const char *f)
+{
+    return std::string(FADE_SOURCE_DIR "/tests/golden/") + f;
+}
+
 TEST(GoldenCorpus, ReplaysToRecordedHash)
 {
-    const char *files[] = {
-        "hmmer_memleak_n1.ftrace",   "gcc_addrcheck_n4.ftrace",
-        "mcf_taintcheck_n1.ftrace",  "ocean_atomcheck_n2.ftrace",
-        "astar_memcheck_2x2x2.ftrace",
-        "ocean_mt4_racecheck_2x2.ftrace",
-    };
-    for (const char *f : files) {
-        std::string path =
-            std::string(FADE_SOURCE_DIR "/tests/golden/") + f;
+    for (const char *f : kGoldenFiles) {
+        std::string path = goldenPath(f);
         SCOPED_TRACE(path);
         TraceReader r(path);
         ASSERT_TRUE(r.manifest().present);
@@ -662,6 +674,84 @@ TEST(GoldenCorpus, ReplaysToRecordedHash)
         EXPECT_EQ(replayHash(path, SchedulerPolicy::Lockstep,
                              Engine::PerCycle),
                   r.manifest().fingerprintHash);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run-grain engine (modeled timing: functional equality, not hashes)
+// ---------------------------------------------------------------------
+
+/** Replay the full captured window under @p eng and return the
+ *  engine-invariant functional fingerprint. */
+std::vector<std::uint64_t>
+replayFunctional(const std::string &path, Engine eng)
+{
+    MultiCoreConfig cfg = replayConfig(path);
+    cfg.engine = eng;
+    MultiCoreSystem sys(cfg);
+    const TraceManifest &m = sys.traceReader()->manifest();
+    sys.warmup(m.warmupInstructions);
+    sys.run(m.measureInstructions);
+    return sys.functionalFingerprint();
+}
+
+TEST(RunGrainReplay, CapturedStreamsFunctionallyEngineInvariant)
+{
+    // A run-grain capture ends every stream at the exact per-shard
+    // retirement quota: the engine fetches only what it retires, so
+    // there is no commit-width overshoot and no speculative fetch-ahead
+    // tail. Replaying the whole stream therefore covers the identical
+    // instruction window under the per-cycle reference too (the stream
+    // runs out exactly at the quota, so per-cycle cannot overshoot
+    // either), and every functional value — retirement/event counts,
+    // filter verdicts, handler work, bug reports — must match bit for
+    // bit. The batched engine is excluded: its run-to-stall frontend
+    // demands fetch-ahead margin beyond the retirement target, which an
+    // exact-quota stream cannot supply (it is bit-identical to
+    // per-cycle on generated streams, so its coverage rides on the
+    // per-cycle leg).
+    struct Shape
+    {
+        unsigned shards, clusters, fades;
+    };
+    const Shape shapes[] = {{1, 1, 1}, {4, 2, 2}};
+    for (const Shape &s : shapes) {
+        SCOPED_TRACE(testing::Message() << s.shards << "x" << s.clusters
+                                        << "x" << s.fades);
+        TempTrace t;
+        std::vector<std::uint64_t> live;
+        {
+            MultiCoreConfig cfg = matrixConfig("AddrCheck", "gcc",
+                                               s.shards, s.clusters,
+                                               s.fades);
+            cfg.engine = Engine::RunGrain;
+            cfg.traceOut = t.path();
+            MultiCoreSystem sys(cfg);
+            sys.run(kWarm + kRun);
+            live = sys.functionalFingerprint();
+            sys.closeTrace(0);
+        }
+        EXPECT_EQ(replayFunctional(t.path(), Engine::RunGrain), live);
+        EXPECT_EQ(replayFunctional(t.path(), Engine::PerCycle), live);
+    }
+}
+
+TEST(RunGrainReplay, GoldenCorpusReplaysDeterministically)
+{
+    // The goldens were captured under the per-cycle engine with its
+    // fetch-ahead margin, so the run-grain engine (which fetches less)
+    // replays them fine. Its full-result hash legitimately differs from
+    // the recorded per-cycle hash (modeled timing), but must be
+    // reproducible run over run — that is what lets run-grain results
+    // be pinned by goldens of their own.
+    for (const char *f : kGoldenFiles) {
+        std::string path = goldenPath(f);
+        SCOPED_TRACE(path);
+        std::uint64_t h = replayHash(path, SchedulerPolicy::Lockstep,
+                                     Engine::RunGrain);
+        EXPECT_EQ(replayHash(path, SchedulerPolicy::Lockstep,
+                             Engine::RunGrain),
+                  h);
     }
 }
 
