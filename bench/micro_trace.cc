@@ -26,10 +26,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "isa/event.hh"
+#include "monitor/addrcheck.hh"
 #include "sim/flatset.hh"
+#include "sim/queue.hh"
 #include "sim/random.hh"
 #include "sim/wordset.hh"
 #include "mem/shadow.hh"
+#include "system/producer.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -139,6 +143,170 @@ generatorMicro(const std::string &profile, std::uint64_t n)
                 "\"ns_per_instr\":%.1f}\n",
                 profile.c_str(), (unsigned long long)n, perInstr);
     return ok;
+}
+
+/** Order-independent fingerprint of one extracted event. */
+std::uint64_t
+eventHash(const MonEvent &e)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    mix(std::uint64_t(e.kind) | (std::uint64_t(e.eventId) << 8) |
+        (std::uint64_t(e.numSrc) << 16) | (std::uint64_t(e.hasDst) << 24));
+    mix(e.appAddr);
+    mix(e.appPc);
+    mix(e.src1 | (std::uint64_t(e.src2) << 8) |
+        (std::uint64_t(e.dst) << 16));
+    mix(e.len | (std::uint64_t(e.tid) << 32) |
+        (std::uint64_t(e.shard) << 48));
+    return h;
+}
+
+/**
+ * Span fast path: batch synthesis (stageRun + fetchSpan) proven
+ * draw-for-draw identical to on-demand fetch(), then the per-stage
+ * ns/instr decomposition of the run-grain functional pipeline —
+ * synthesis, monitor dispatch (Monitor::monitoredSpan), and bulk event
+ * extraction (EventProducer::commitSpan) — each timed over the same
+ * staged spans (scripts/bench_baseline.sh records these in
+ * BENCH_pr9.json).
+ */
+bool
+spanMicro(const std::string &profile, std::uint64_t n)
+{
+    constexpr std::size_t kSpan = 64;
+
+    // Differential: batch-synthesized stream == on-demand stream.
+    TraceGenerator onDemand(specProfile(profile));
+    std::uint64_t hashDemand = 0;
+    for (std::uint64_t k = 0; k < n; ++k)
+        hashDemand += instHash(onDemand.fetch());
+
+    std::uint64_t hashBatch = 0;
+    {
+        TraceGenerator g(specProfile(profile));
+        std::uint64_t left = n;
+        while (left) {
+            std::size_t want = std::size_t(std::min<std::uint64_t>(
+                kSpan, left));
+            g.stageRun(want);
+            InstSpan s = g.fetchSpan(want);
+            for (const Instruction &i : s)
+                hashBatch += instHash(i);
+            left -= s.count;
+        }
+    }
+    bool ok = hashDemand == hashBatch;
+    if (!ok)
+        std::printf("SPAN PATH DIVERGED: batch synthesis != on-demand\n");
+
+    // Stage 1: batch synthesis rate.
+    std::uint64_t sink = 0;
+    double synthNs = medianSeconds([&] {
+        TraceGenerator g(specProfile(profile));
+        std::uint64_t left = n;
+        while (left) {
+            std::size_t want = std::size_t(std::min<std::uint64_t>(
+                kSpan, left));
+            g.stageRun(want);
+            InstSpan s = g.fetchSpan(want);
+            sink += s.count;
+            left -= s.count;
+        }
+    }) / double(n) * 1e9;
+
+    // A reusable staged window for the downstream stages: synthesize
+    // once, then time dispatch/extraction over the same instructions.
+    std::vector<Instruction> window;
+    window.reserve(1 << 16);
+    {
+        TraceGenerator g(specProfile(profile));
+        while (window.size() < (1 << 16))
+            window.push_back(g.fetch());
+    }
+    AddrCheck mon;
+    std::vector<std::uint8_t> verdicts(window.size());
+
+    // Stage 2: monitor dispatch (batched verdicts).
+    std::uint64_t monHits = 0;
+    double monNs = medianSeconds([&] {
+        std::uint64_t done = 0;
+        while (done < n) {
+            for (std::size_t at = 0; at < window.size() && done < n;
+                 at += kSpan, done += kSpan)
+                mon.monitoredSpan(window.data() + at, kSpan,
+                                  verdicts.data() + at);
+        }
+        monHits = 0;
+        for (std::uint8_t v : verdicts)
+            monHits += v;
+    }) / double(n) * 1e9;
+
+    // Stage 3: bulk event extraction over the verdict-carrying spans.
+    // The producer needs a bound queue only as an enable flag —
+    // commitSpan writes into the caller's flat buffer.
+    BoundedQueue<MonEvent> eq(16);
+    MonEvent spanEvents[kSpan];
+    std::uint64_t evBatch = 0, evHashBatch = 0;
+    double extractNs = medianSeconds([&] {
+        EventProducer prod(&mon, &eq, nullptr);
+        evBatch = 0;
+        evHashBatch = 0;
+        std::uint64_t done = 0;
+        while (done < n) {
+            for (std::size_t at = 0; at < window.size() && done < n;
+                 at += kSpan, done += kSpan) {
+                std::size_t ev = prod.commitSpan(
+                    window.data() + at, verdicts.data() + at, kSpan,
+                    spanEvents);
+                evBatch += ev;
+                for (std::size_t e = 0; e < ev; ++e)
+                    evHashBatch += eventHash(spanEvents[e]);
+            }
+        }
+    }) / double(n) * 1e9;
+
+    // Differential: bulk extraction == one-at-a-time commitDecided
+    // over the same window (events popped from the bound queue).
+    {
+        BoundedQueue<MonEvent> one(1);
+        EventProducer ref(&mon, &one, nullptr);
+        std::uint64_t evRef = 0, evHashRef = 0;
+        std::uint64_t done = 0;
+        while (done < n) {
+            for (std::size_t at = 0; at < window.size() && done < n;
+                 ++at, ++done) {
+                ref.commitDecided(window[at], verdicts[at] != 0);
+                if (!one.empty()) {
+                    ++evRef;
+                    evHashRef += eventHash(one.front());
+                    one.pop();
+                }
+            }
+        }
+        if (evRef != evBatch || evHashRef != evHashBatch) {
+            std::printf("SPAN EXTRACTION DIVERGED: commitSpan != "
+                        "commitDecided\n");
+            ok = false;
+        }
+    }
+
+    std::printf("span pipeline (%s, %zu-instr spans): synthesis %.1f + "
+                "monitor dispatch %.1f + extraction %.1f ns/instr "
+                "(%llu events; batch == on-demand: %s)\n",
+                profile.c_str(), kSpan, synthNs, monNs, extractNs,
+                (unsigned long long)evBatch, ok ? "yes" : "NO");
+    std::printf("{\"bench\":\"micro_trace\",\"what\":\"span_pipeline\","
+                "\"profile\":\"%s\",\"span\":%zu,\"instructions\":%llu,"
+                "\"synthesis_ns_per_instr\":%.1f,"
+                "\"monitor_dispatch_ns_per_instr\":%.1f,"
+                "\"extraction_ns_per_instr\":%.1f}\n",
+                profile.c_str(), kSpan, (unsigned long long)n, synthNs,
+                monNs, extractNs);
+    return ok && sink != 0 && monHits != 0;
 }
 
 /** Randomized differential check + op-rate micro for AddrSet. */
@@ -336,6 +504,7 @@ main(int argc, char **argv)
     std::printf("=== micro_trace: functional-layer microbenchmarks "
                 "===\n");
     bool ok = generatorMicro(profile, instr);
+    ok &= spanMicro(profile, instr);
     ok &= setMicro(ops);
     ok &= wordSetMicro(ops);
     shadowMicro(ops);

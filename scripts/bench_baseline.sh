@@ -11,7 +11,7 @@
 #
 #   sh scripts/bench_baseline.sh [builddir] [outfile]
 #
-# Defaults: builddir=build, outfile=BENCH_pr8.json. Numbers are only
+# Defaults: builddir=build, outfile=BENCH_pr9.json. Numbers are only
 # comparable on the same host under the same load — see
 # docs/BENCHMARKS.md for the measurement protocol. Both micro harnesses
 # report the median of their in-harness repetitions (after a discarded
@@ -20,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 builddir=${1:-build}
-out=${2:-BENCH_pr8.json}
+out=${2:-BENCH_pr9.json}
 
 for bin in micro_trace micro_pipeline trace_tool; do
     if [ ! -x "$builddir/$bin" ]; then

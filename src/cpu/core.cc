@@ -54,6 +54,11 @@ RunGrainThread::configure(const CoreParams &p, unsigned robPartition)
     mispredictPenalty_ = p.mispredictPenalty;
     commitRing_.assign(robCap_, 0);
     dispatchRing_.assign(width_, 0);
+    robIdx_ = 0;
+    // First read when count_ == W must see (W - W) mod R == 0, so the
+    // lagged cursor starts W increments behind that.
+    robLagIdx_ = (robCap_ - width_ % robCap_) % robCap_;
+    wIdx_ = 0;
 }
 
 RunGrainThread::Retire
@@ -65,17 +70,21 @@ RunGrainThread::retire(const Instruction &inst, unsigned execLat,
     // Dispatch: width pacing, branch redirect, then ROB-partition
     // space (the entry k-R must have committed; commit precedes
     // dispatch inside one reference tick, so the same cycle is legal).
+    // Ring cursors: wIdx_ == count_ mod W (which also equals
+    // (count_ - W) mod W, so the dispatch ring is read and written at
+    // the same slot), robIdx_ == count_ mod R, robLagIdx_ ==
+    // (count_ - W) mod R. Maintained by wrap-around increments below —
+    // the hot path never divides (R defaults to 96, not a power of 2).
     Cycle base = std::max(fetchGate, lastDispatch_);
     if (count_ >= width_)
-        base = std::max(base,
-                        dispatchRing_[(count_ - width_) % width_] + 1);
+        base = std::max(base, dispatchRing_[wIdx_] + 1);
     Cycle afterStall = std::max(base, fetchStallUntil_);
     out.fetchWait = afterStall - base;
     Cycle d = afterStall;
     if (count_ >= robCap_)
-        d = std::max(d, commitRing_[count_ % robCap_]);
+        d = std::max(d, commitRing_[robIdx_]);
     out.robWait = d - afterStall;
-    dispatchRing_[count_ % width_] = d;
+    dispatchRing_[wIdx_] = d;
     lastDispatch_ = d;
 
     // Issue and complete (dispatchInst()'s timing math).
@@ -97,13 +106,15 @@ RunGrainThread::retire(const Instruction &inst, unsigned execLat,
     // Commit: in order, width-paced, gated by the sink.
     Cycle cPre = std::max(r, lastCommit_);
     if (count_ >= width_)
-        cPre = std::max(cPre,
-                        commitRing_[(count_ - width_) % robCap_] + 1);
+        cPre = std::max(cPre, commitRing_[robLagIdx_] + 1);
     Cycle c = std::max(cPre, sinkGate);
     out.sinkWait = c - cPre;
-    commitRing_[count_ % robCap_] = c;
+    commitRing_[robIdx_] = c;
     lastCommit_ = c;
     ++count_;
+    wIdx_ = (wIdx_ + 1 == width_) ? 0 : wIdx_ + 1;
+    robIdx_ = (robIdx_ + 1 == robCap_) ? 0 : robIdx_ + 1;
+    robLagIdx_ = (robLagIdx_ + 1 == robCap_) ? 0 : robLagIdx_ + 1;
 
     out.dispatched = d;
     out.ready = r;

@@ -124,6 +124,12 @@ class RunGrainThread
     std::vector<Cycle> commitRing_;
     /** Dispatch times of the last width_ instructions (ring, k mod W). */
     std::vector<Cycle> dispatchRing_;
+    /** Ring cursors maintained incrementally so the per-retire hot
+     *  path never divides: count_ mod R, (count_ - W) mod R, and
+     *  count_ mod W (identical to the mod expressions they replace). */
+    unsigned robIdx_ = 0;
+    unsigned robLagIdx_ = 0;
+    unsigned wIdx_ = 0;
     std::array<Cycle, numArchRegs> regReady_{};
     Cycle lastIssue_ = 0;
     Cycle fetchStallUntil_ = 0;

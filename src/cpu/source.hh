@@ -13,6 +13,22 @@
 namespace fade
 {
 
+/**
+ * A contiguous run of already-staged instructions handed out by
+ * InstSource::fetchSpan(). The storage belongs to the source and stays
+ * valid until the next fetch/stage call on it; consumers must finish
+ * (or copy) the span before touching the source again.
+ */
+struct InstSpan
+{
+    const Instruction *data = nullptr;
+    std::size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    const Instruction *begin() const { return data; }
+    const Instruction *end() const { return data + count; }
+};
+
 /** Supplies the dynamic instruction stream of one hardware thread. */
 class InstSource
 {
@@ -59,6 +75,25 @@ class InstSource
     {
         (void)n;
         return 0;
+    }
+
+    /**
+     * Consume up to @p max staged instructions as one contiguous span —
+     * the bulk generalization of fetchNext(). A returned span of count
+     * k is exactly equivalent to k successive fetchNext() calls (same
+     * instructions, same side effects); an empty span means nothing is
+     * staged contiguously and the caller falls back to fetchNext()/
+     * fetch(). Span storage is owned by the source and is valid until
+     * the next fetch or stage call, so batch consumers (the run-grain
+     * driver) process a whole span without a per-instruction virtual
+     * round-trip. Sources may return fewer than @p max instructions
+     * (e.g. at a trace-block boundary); callers simply loop.
+     */
+    virtual InstSpan
+    fetchSpan(std::size_t max)
+    {
+        (void)max;
+        return {};
     }
 };
 

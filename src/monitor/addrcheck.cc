@@ -44,6 +44,14 @@ AddrCheck::monitored(const Instruction &inst) const
 }
 
 void
+AddrCheck::monitoredSpan(const Instruction *insts, std::size_t n,
+                         std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = AddrCheck::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 AddrCheck::programFade(EventTable &table, InvRegFile &inv) const
 {
     inv.write(0, mdAllocated);

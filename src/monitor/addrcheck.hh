@@ -27,6 +27,8 @@ class AddrCheck : public Monitor
     std::uint8_t shadowDefault() const override { return mdUnallocated; }
 
     bool monitored(const Instruction &inst) const override;
+    void monitoredSpan(const Instruction *insts, std::size_t n,
+                       std::uint8_t *out) const override;
     void programFade(EventTable &table, InvRegFile &inv) const override;
     void initShadow(MonitorContext &ctx,
                     const WorkloadLayout &l) const override;

@@ -43,6 +43,14 @@ AtomCheck::monitored(const Instruction &inst) const
 }
 
 void
+AtomCheck::monitoredSpan(const Instruction *insts, std::size_t n,
+                        std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = AtomCheck::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 AtomCheck::programFade(EventTable &table, InvRegFile &inv) const
 {
     // INV[0] holds accessed|current-thread; rewritten on each context

@@ -67,6 +67,14 @@ MemCheck::monitored(const Instruction &inst) const
 }
 
 void
+MemCheck::monitoredSpan(const Instruction *insts, std::size_t n,
+                       std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = MemCheck::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 MemCheck::programFade(EventTable &table, InvRegFile &inv) const
 {
     inv.write(0, mdInit);

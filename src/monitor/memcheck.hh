@@ -29,6 +29,8 @@ class MemCheck : public Monitor
     std::uint8_t regMdInit() const override { return mdInit; }
 
     bool monitored(const Instruction &inst) const override;
+    void monitoredSpan(const Instruction *insts, std::size_t n,
+                       std::uint8_t *out) const override;
     void programFade(EventTable &table, InvRegFile &inv) const override;
     void initShadow(MonitorContext &ctx,
                     const WorkloadLayout &l) const override;

@@ -56,6 +56,14 @@ MemLeak::monitored(const Instruction &inst) const
 }
 
 void
+MemLeak::monitoredSpan(const Instruction *insts, std::size_t n,
+                      std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = MemLeak::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 MemLeak::programFade(EventTable &table, InvRegFile &inv) const
 {
     inv.write(0, mdNonPointer);

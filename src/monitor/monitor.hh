@@ -71,6 +71,23 @@ class Monitor
      */
     virtual bool monitored(const Instruction &inst) const = 0;
 
+    /**
+     * Batch event selection: write the monitored() verdict of each of
+     * @p n instructions into @p out (1 = monitored). Exactly
+     * equivalent to n monitored() calls — monitored() is a pure
+     * function of the instruction, so subclasses override this with a
+     * devirtualized loop and batch consumers (the run-grain span path)
+     * pay one virtual dispatch per span instead of one per
+     * instruction.
+     */
+    virtual void
+    monitoredSpan(const Instruction *insts, std::size_t n,
+                  std::uint8_t *out) const
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = monitored(insts[i]) ? 1 : 0;
+    }
+
     /** Program the event table and INV RF for this monitor. */
     virtual void programFade(EventTable &table, InvRegFile &inv) const = 0;
 

@@ -28,6 +28,14 @@ RaceCheck::monitored(const Instruction &inst) const
 }
 
 void
+RaceCheck::monitoredSpan(const Instruction *insts, std::size_t n,
+                        std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = RaceCheck::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 RaceCheck::programFade(EventTable &table, InvRegFile &inv) const
 {
     inv.write(0, 0);

@@ -60,6 +60,14 @@ TaintCheck::monitored(const Instruction &inst) const
 }
 
 void
+TaintCheck::monitoredSpan(const Instruction *insts, std::size_t n,
+                         std::uint8_t *out) const
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = TaintCheck::monitored(insts[i]) ? 1 : 0;
+}
+
+void
 TaintCheck::programFade(EventTable &table, InvRegFile &inv) const
 {
     inv.write(0, mdUntainted);

@@ -27,6 +27,8 @@ class TaintCheck : public Monitor
     std::uint8_t shadowDefault() const override { return mdUntainted; }
 
     bool monitored(const Instruction &inst) const override;
+    void monitoredSpan(const Instruction *insts, std::size_t n,
+                       std::uint8_t *out) const override;
     void programFade(EventTable &table, InvRegFile &inv) const override;
     void handleEvent(const UnfilteredEvent &u, MonitorContext &ctx) override;
     void buildHandlerSeq(const UnfilteredEvent &u, const MonitorContext &ctx,

@@ -75,6 +75,48 @@ class EventProducer : public CommitSink
             produce(inst, monitored);
     }
 
+    /**
+     * Bulk span extraction (run-grain span path): retire @p n
+     * instructions at once, with verdicts @p mv already decided
+     * (Monitor::monitoredSpan), building the events of every monitored
+     * one into @p out instead of the bound queue. Returns the number
+     * of events written. Functionally identical to n commitDecided()
+     * calls — same retired/produced accounting, same seq numbering,
+     * same per-instruction thread-switch tracking — except that the
+     * events land in the caller's flat buffer: the caller owns the
+     * modeled queue accounting (the run-grain driver drives the
+     * architectural EQ statistics from modeled time) and must process
+     * the events in order. Callers segment spans at thread switches
+     * when INV-RF updates must stay ordered against event processing
+     * (system/rungrain.cc does).
+     */
+    std::size_t
+    commitSpan(const Instruction *insts, const std::uint8_t *mv,
+               std::size_t n, MonEvent *out)
+    {
+        retired_ += n;
+        if (!mon_ || !eq_)
+            return 0;
+        std::size_t ev = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Instruction &inst = insts[i];
+            noteTid(inst);
+            if (!mv[i])
+                continue;
+            MonEvent &slot = out[ev++];
+            if (inst.isStackUpdate())
+                slot = makeStackEvent(inst, seq_);
+            else if (inst.cls == InstClass::HighLevel)
+                slot = makeHighLevelEvent(inst, seq_);
+            else
+                slot = makeInstEvent(inst, seq_);
+            slot.shard = shard_;
+            ++seq_;
+            ++produced_;
+        }
+        return ev;
+    }
+
     void
     onCommit(const Instruction &inst) override
     {
@@ -111,10 +153,9 @@ class EventProducer : public CommitSink
     }
 
   private:
-    /** Thread-switch tracking + event emission for one retirement
-     *  (the monitored verdict is already decided). */
+    /** Thread-switch tracking for one retirement. */
     void
-    produce(const Instruction &inst, bool monitored)
+    noteTid(const Instruction &inst)
     {
         if (seenTid_ && inst.tid != lastTid_) {
             // Context switch: the monitor updates its current-thread
@@ -129,6 +170,14 @@ class EventProducer : public CommitSink
         }
         lastTid_ = inst.tid;
         seenTid_ = true;
+    }
+
+    /** Thread-switch tracking + event emission for one retirement
+     *  (the monitored verdict is already decided). */
+    void
+    produce(const Instruction &inst, bool monitored)
+    {
+        noteTid(inst);
 
         if (!monitored)
             return;

@@ -1,6 +1,7 @@
 #include "system/rungrain.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "sim/logging.hh"
 #include "trace/threads.hh"
@@ -53,6 +54,14 @@ RunGrainDriver::RunGrainDriver(MonitoringSystem &sys)
     // directly, and the driver drains it after every retirement.
     if (sys.mon_ && (fades_ || perfect_))
         producer_->rebindQueue(&stage_);
+
+    // Span fast path: bulk extraction needs the producer bound to the
+    // driver (accelerated / perfect) or no events at all; the
+    // unaccelerated monitor process pops the real EQ after every
+    // retirement, so it keeps the per-instruction interleaving.
+    spanPath_ = srcRuns_ && sys.cfg_.spanFastPath &&
+                std::getenv("FADE_NO_SPAN") == nullptr &&
+                (sys.mon_ == nullptr || fades_ || perfect_);
 }
 
 Cycle
@@ -60,7 +69,7 @@ RunGrainDriver::eqGate() const
 {
     if (eqPopRing_.empty() || eqCount_ < eqPopRing_.size())
         return 0;
-    return eqPopRing_[eqCount_ % eqPopRing_.size()] + 1;
+    return eqPopRing_[eqIdx_] + 1;
 }
 
 Cycle
@@ -68,15 +77,17 @@ RunGrainDriver::ueqGate() const
 {
     if (ueqStartRing_.empty() || ueqCount_ < ueqStartRing_.size())
         return 0;
-    return ueqStartRing_[ueqCount_ % ueqStartRing_.size()] + 1;
+    return ueqStartRing_[ueqIdx_] + 1;
 }
 
 void
 RunGrainDriver::recordEqPop(Cycle popAt)
 {
     eqPending_.push_back(popAt);
-    if (!eqPopRing_.empty())
-        eqPopRing_[eqCount_ % eqPopRing_.size()] = popAt;
+    if (!eqPopRing_.empty()) {
+        eqPopRing_[eqIdx_] = popAt;
+        eqIdx_ = (eqIdx_ + 1 == eqPopRing_.size()) ? 0 : eqIdx_ + 1;
+    }
     ++eqCount_;
     lastEqPop_ = popAt;
 }
@@ -145,7 +156,7 @@ RunGrainDriver::runHandler(Cycle avail)
 }
 
 void
-RunGrainDriver::processEvent(MonEvent ev, Cycle commit)
+RunGrainDriver::processEvent(const MonEvent &ev, Cycle commit)
 {
     ++stats_.events;
     accountEqPush(commit);
@@ -186,8 +197,10 @@ RunGrainDriver::processEvent(MonEvent ev, Cycle commit)
         Cycle uPush = std::max(resolve, ueqGate());
         u.pipeClear = std::max(u.pipeClear, resolve + 1);
         HandlerSpan h = runHandler(uPush);
-        if (!ueqStartRing_.empty())
-            ueqStartRing_[ueqCount_ % ueqStartRing_.size()] = h.start;
+        if (!ueqStartRing_.empty()) {
+            ueqStartRing_[ueqIdx_] = h.start;
+            ueqIdx_ = (ueqIdx_ + 1 == ueqStartRing_.size()) ? 0 : ueqIdx_ + 1;
+        }
         ++ueqCount_;
         u.handlerClear = std::max(u.handlerClear, h.done);
         if (oc.serialize) // blocking FADE: filter stalls to completion
@@ -224,8 +237,10 @@ RunGrainDriver::processEvent(MonEvent ev, Cycle commit)
         uPush = std::max(std::max(pop, u.pipeClear), ueqGate());
     recordEqPop(pop);
     HandlerSpan h = runHandler(uPush);
-    if (!ueqStartRing_.empty())
-        ueqStartRing_[ueqCount_ % ueqStartRing_.size()] = h.start;
+    if (!ueqStartRing_.empty()) {
+        ueqStartRing_[ueqIdx_] = h.start;
+        ueqIdx_ = (ueqIdx_ + 1 == ueqStartRing_.size()) ? 0 : ueqIdx_ + 1;
+    }
     ++ueqCount_;
     u.handlerClear = std::max(u.handlerClear, h.done);
     if (oc.serialize)
@@ -245,12 +260,18 @@ RunGrainDriver::processOne()
         local = appSrc_->fetch();
         ip = &local;
     }
+    processInst(*ip);
+    return true;
+}
 
+void
+RunGrainDriver::processInst(const Instruction &inst)
+{
     bool monitored =
-        sys_.mon_ != nullptr && sys_.mon_->monitored(*ip);
-    unsigned lat = appCore_->runGrainExecLatency(*ip);
+        sys_.mon_ != nullptr && sys_.mon_->monitored(inst);
+    unsigned lat = appCore_->runGrainExecLatency(inst);
     Cycle sinkGate = monitored ? eqGate() : 0;
-    RunGrainThread::Retire r = appT_.retire(*ip, lat, 0, sinkGate);
+    RunGrainThread::Retire r = appT_.retire(inst, lat, 0, sinkGate);
 
     ThreadStats &as = appCore_->runGrainThreadStats(0);
     ++as.retired;
@@ -260,10 +281,10 @@ RunGrainDriver::processOne()
     stats_.cyclesFastForwarded += r.sinkWait + r.robWait + r.fetchWait;
     ++stats_.instructions;
 
-    producer_->commitDecided(*ip, monitored);
+    producer_->commitDecided(inst, monitored);
 
     if (!monitored)
-        return true;
+        return;
 
     if (unaccel_) {
         // The monitor process pops the raw EQ itself; its handler
@@ -271,11 +292,71 @@ RunGrainDriver::processOne()
         ++stats_.events;
         HandlerSpan h = runHandler(r.committed);
         recordEqPop(h.start);
-        return true;
+        return;
     }
     if (!stage_.empty())
         processEvent(stage_.pop(), r.committed);
-    return true;
+}
+
+void
+RunGrainDriver::processSpan(const Instruction *insts, std::size_t n)
+{
+    Monitor *mon = sys_.mon_;
+    if (mon)
+        mon->monitoredSpan(insts, n, verdicts_);
+
+    ThreadStats &as = appCore_->runGrainThreadStats(0);
+    std::uint64_t ff = 0;
+
+    std::size_t s = 0;
+    while (s < n) {
+        // Maximal same-tid segment: within it no INV-RF thread-switch
+        // update can occur, so the whole segment's events may be
+        // extracted before any of them is processed.
+        std::size_t e = s + 1;
+        ThreadId tid = insts[s].tid;
+        while (e < n && insts[e].tid == tid)
+            ++e;
+
+        // Functional: bulk event extraction for the segment.
+        std::size_t nev = producer_->commitSpan(
+            insts + s, verdicts_ + s, e - s, spanEvents_);
+        (void)nev;
+
+        // Timing: retire recurrences with each event processed at its
+        // own retire point (eqGate() ordering).
+        std::size_t ev = 0;
+        if (!mon) {
+            for (std::size_t i = s; i < e; ++i) {
+                unsigned lat = appCore_->runGrainExecLatency(insts[i]);
+                RunGrainThread::Retire r =
+                    appT_.retire(insts[i], lat, 0, 0);
+                as.sinkStallCycles += r.sinkWait;
+                as.robFullCycles += r.robWait;
+                as.fetchBubbleCycles += r.fetchWait;
+                ff += r.sinkWait + r.robWait + r.fetchWait;
+            }
+        } else {
+            for (std::size_t i = s; i < e; ++i) {
+                bool monitored = verdicts_[i] != 0;
+                unsigned lat = appCore_->runGrainExecLatency(insts[i]);
+                Cycle sinkGate = monitored ? eqGate() : 0;
+                RunGrainThread::Retire r =
+                    appT_.retire(insts[i], lat, 0, sinkGate);
+                as.sinkStallCycles += r.sinkWait;
+                as.robFullCycles += r.robWait;
+                as.fetchBubbleCycles += r.fetchWait;
+                ff += r.sinkWait + r.robWait + r.fetchWait;
+                if (monitored)
+                    processEvent(spanEvents_[ev++], r.committed);
+            }
+        }
+        s = e;
+    }
+
+    as.retired += n;
+    stats_.cyclesFastForwarded += ff;
+    stats_.instructions += n;
 }
 
 std::uint64_t
@@ -296,6 +377,15 @@ RunGrainDriver::runUntil(std::uint64_t maxCycles,
         std::size_t batch =
             std::size_t(std::min<std::uint64_t>(want, kStageRun));
         appSrc_->stageRun(batch);
+        if (spanPath_) {
+            // Batched fast path: one span per batch (possibly shorter
+            // at a trace-block boundary — the outer loop re-stages).
+            InstSpan span = appSrc_->fetchSpan(batch);
+            if (!span.empty()) {
+                processSpan(span.data, span.count);
+                continue;
+            }
+        }
         // Drain the whole batch: any staged instructions are consumed
         // before control returns (stream edits such as injectBug()
         // must never interleave with staged work).

@@ -43,11 +43,11 @@
 #define FADE_SYSTEM_RUNGRAIN_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "cpu/core.hh"
 #include "sim/queue.hh"
+#include "sim/ring.hh"
 #include "system/system.hh"
 #include "system/topology.hh"
 
@@ -115,7 +115,12 @@ class RunGrainDriver
     const RunGrainDriverStats &stats() const { return stats_; }
 
   private:
-    /** Instructions staged/processed per batch. */
+    /** Instructions staged/processed per batch. The batch size is
+     *  functionally and temporally invisible (staging is draw-for-draw
+     *  identical to on-demand synthesis and the timing recurrences are
+     *  per-instruction); it only sets span length and scratch sizing.
+     *  64 keeps the whole span working set (staged instructions,
+     *  verdicts, extracted events) L1-resident. */
     static constexpr std::size_t kStageRun = 64;
 
     /** Per-filter-unit modeled pipeline state (absolute cycles). */
@@ -141,8 +146,25 @@ class RunGrainDriver
      *  @return false when the source has no instruction. */
     bool processOne();
 
+    /** The body of processOne() after the instruction is in hand
+     *  (shared by the fetch and span paths). */
+    void processInst(const Instruction &inst);
+
+    /**
+     * Batched span path: process @p n staged instructions. Verdicts
+     * are decided for the whole span up front (monitoredSpan), events
+     * are extracted in bulk per same-tid segment (commitSpan into the
+     * flat event buffer), and the timing recurrences then run over the
+     * span with the events processed at their retire points — the
+     * exact interleaving the per-instruction path produces (eqGate()
+     * for a monitored instruction must see the modeled pops of every
+     * earlier event, and INV-RF thread switches must stay ordered
+     * against event processing, hence the tid segmentation).
+     */
+    void processSpan(const Instruction *insts, std::size_t n);
+
     /** Accelerated path: one produced event through the FadeGroup. */
-    void processEvent(MonEvent ev, Cycle commit);
+    void processEvent(const MonEvent &ev, Cycle commit);
 
     /** Run the pending software handler to completion on the monitor
      *  thread. @p avail is the cycle its event becomes visible to the
@@ -177,6 +199,11 @@ class RunGrainDriver
     InstSource *appSrc_;
 
     bool srcRuns_ = false;
+    /** Span fast path usable: source serves spans and the shard shape
+     *  lets events be extracted in bulk (accelerated / perfect /
+     *  unmonitored; the unaccelerated monitor process pops the real EQ
+     *  per retirement, so it stays on the per-instruction path). */
+    bool spanPath_ = false;
     bool perfect_ = false;
     /** Monitor process consumes the raw EQ (unaccelerated). */
     bool unaccel_ = false;
@@ -194,20 +221,30 @@ class RunGrainDriver
     BoundedQueue<MonEvent> stage_;
 
     /** Modeled EQ: pop times of events still queued in modeled time. */
-    std::deque<Cycle> eqPending_;
+    RingDeque<Cycle> eqPending_;
     /** Pop times of the last eqCapacity events (backpressure ring). */
     std::vector<Cycle> eqPopRing_;
     std::uint64_t eqCount_ = 0;
+    /** eqCount_ mod eqPopRing_.size(), maintained incrementally so the
+     *  per-event gate/record pair never divides. */
+    std::size_t eqIdx_ = 0;
     /** Handler start (UEQ pop) times of the last ueqCapacity software
      *  events (admission ring). */
     std::vector<Cycle> ueqStartRing_;
     std::uint64_t ueqCount_ = 0;
+    /** ueqCount_ mod ueqStartRing_.size(), maintained incrementally. */
+    std::size_t ueqIdx_ = 0;
     Cycle lastEqPop_ = 0;
     Cycle lastPerfectPop_ = 0;
 
     std::vector<UnitPipe> pipes_;
     /** Group-serialized steering gate (multi-unit groups). */
     Cycle groupFree_ = 0;
+
+    /** Span-path scratch: per-instruction verdicts and the bulk-
+     *  extracted events of the current span (≤ kStageRun each). */
+    std::uint8_t verdicts_[kStageRun];
+    MonEvent spanEvents_[kStageRun];
 
     /** Monitor-thread busy-interval union (idle accounting). */
     Cycle monBusyUntil_ = 0;

@@ -100,6 +100,17 @@ struct SystemConfig
     /** Intra-shard execution engine (results are engine-invariant). */
     Engine engine = Engine::PerCycle;
     /**
+     * Run-grain batched functional fast path: consume staged
+     * instruction spans (InstSource::fetchSpan) with bulk event
+     * extraction (EventProducer::commitSpan) instead of per-
+     * instruction round-trips. Results are bit-identical either way
+     * (enforced by tests and the release CI fingerprint check); false
+     * forces the per-instruction path. The FADE_NO_SPAN environment
+     * variable (any value) also forces it off, so benchmarks can A/B
+     * the two paths without a config plumb-through.
+     */
+    bool spanFastPath = true;
+    /**
      * Filter units behind this shard's event queue (FadeGroup,
      * system/topology.hh). 1 = the classic single-FADE shard,
      * unchanged bit for bit; > 1 adds round-robin event steering

@@ -291,7 +291,11 @@ TraceGenerator::pickHeapAddr(bool forWrite)
     unsigned start = rng_.range(n);
     Alloc *a = nullptr;
     for (unsigned k = 0; k < n; ++k) {
-        Alloc &cand = liveAllocs_[(start + k) % n];
+        // (start + k) mod n without the division: both terms are < n.
+        unsigned idx = start + k;
+        if (idx >= n)
+            idx -= n;
+        Alloc &cand = liveAllocs_[idx];
         if (cand.noWalk)
             continue;
         if (profile_.numThreads > 1 && cand.owner != curThread_) {
@@ -927,11 +931,9 @@ TraceGenerator::injectBug(TruthBits kind)
 Instruction
 TraceGenerator::fetch()
 {
-    if (!staged_.empty()) {
+    if (stagedHead_ != staged_.size()) {
         // Already counted into emitted_ at synthesis time (stageRun).
-        Instruction i = staged_.front();
-        staged_.pop_front();
-        return i;
+        return staged_[stagedHead_++];
     }
     return synthOne();
 }
@@ -939,8 +941,30 @@ TraceGenerator::fetch()
 std::size_t
 TraceGenerator::stageRun(std::size_t n)
 {
-    for (std::size_t k = 0; k < n; ++k)
-        staged_.push_back(synthOne());
+    // Block synthesis into the flat staging array. Identical draw
+    // order to n on-demand synthOne() calls: the pending-splice drain
+    // and the fresh-synthesis calls interleave exactly as the
+    // per-instruction path would (pending_ is checked before every
+    // fresh synthesis, and fresh synthesis may refill it).
+    if (stagedHead_ == staged_.size()) {
+        staged_.clear();
+        stagedHead_ = 0;
+    }
+    staged_.reserve(staged_.size() + n);
+    std::size_t k = 0;
+    while (k < n) {
+        while (k < n && !pending_.empty()) {
+            ++emitted_;
+            staged_.push_back(pending_.front());
+            pending_.pop_front();
+            ++k;
+        }
+        if (k == n)
+            break;
+        ++emitted_;
+        staged_.push_back(synthFresh());
+        ++k;
+    }
     return n;
 }
 
@@ -954,7 +978,12 @@ TraceGenerator::synthOne()
         pending_.pop_front();
         return i;
     }
+    return synthFresh();
+}
 
+Instruction
+TraceGenerator::synthFresh()
+{
     maybeSwitchThread();
     maybeFlipPhase();
 

@@ -54,11 +54,9 @@ class TraceGenerator : public InstSource
     const Instruction *
     fetchNext() override
     {
-        if (!staged_.empty()) {
+        if (stagedHead_ != staged_.size()) {
             // Counted into emitted_ when synthesized (stageRun).
-            const Instruction *i = &staged_.front();
-            staged_.pop_front();
-            return i;
+            return &staged_[stagedHead_++];
         }
         if (pending_.empty())
             return nullptr;
@@ -68,6 +66,22 @@ class TraceGenerator : public InstSource
         return i;
     }
     bool supportsRuns() const override { return true; }
+
+    /**
+     * Bulk generalization of fetchNext(): the staged block is a flat
+     * array, so a whole run of staged instructions is consumed as one
+     * contiguous span (valid until the next stage/fetch call). Only
+     * staged instructions are spanned; pending splices still go
+     * through fetchNext() so their emitted_ accounting is per-draw.
+     */
+    InstSpan
+    fetchSpan(std::size_t max) override
+    {
+        std::size_t n = std::min(max, staged_.size() - stagedHead_);
+        InstSpan s{staged_.data() + stagedHead_, n};
+        stagedHead_ += n;
+        return s;
+    }
 
     /**
      * Pre-synthesize the next @p n instructions of the stream into the
@@ -317,10 +331,16 @@ class TraceGenerator : public InstSource
     /** One synthesized instruction: the former fetch() body (the
      *  pending-queue branch plus on-demand synthesis). */
     Instruction synthOne();
+    /** On-demand synthesis of one fresh instruction; the caller has
+     *  already counted emitted_ and drained pending_. */
+    Instruction synthFresh();
 
     RingDeque<Instruction> pending_;
-    /** Pre-synthesized run (stageRun), served before pending_. */
-    RingDeque<Instruction> staged_;
+    /** Flat staged block (stageRun), served before pending_; a vector
+     *  plus head index rather than a ring so fetchSpan() can hand out
+     *  contiguous runs. Compacted whenever fully drained. */
+    std::vector<Instruction> staged_;
+    std::size_t stagedHead_ = 0;
     std::uint64_t emitted_ = 0;
     std::uint64_t seqTick_ = 0;
 

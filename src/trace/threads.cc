@@ -262,6 +262,27 @@ ThreadedSource::filler(Hosted &h)
 Instruction
 ThreadedSource::fetch()
 {
+    if (stagedHead_ != staged_.size())
+        return staged_[stagedHead_++];
+    return synthOne();
+}
+
+std::size_t
+ThreadedSource::stageRun(std::size_t n)
+{
+    if (stagedHead_ == staged_.size()) {
+        staged_.clear();
+        stagedHead_ = 0;
+    }
+    staged_.reserve(staged_.size() + n);
+    for (std::size_t k = 0; k < n; ++k)
+        staged_.push_back(synthOne());
+    return n;
+}
+
+Instruction
+ThreadedSource::synthOne()
+{
     Hosted &h = hosted_[cur_];
     Instruction i;
     if (h.gapLeft > 0) {

@@ -21,6 +21,7 @@
 #ifndef FADE_TRACE_THREADS_HH
 #define FADE_TRACE_THREADS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,33 @@ class ThreadedSource : public InstSource
     bool available() override { return true; }
     Instruction fetch() override;
 
+    /**
+     * Run-replay fast path (cpu/source.hh): staged instructions are
+     * handed out in place, bit-identical to fetch() — staging calls
+     * the exact fetch() synthesis (same per-thread RNG draw order,
+     * same quantum rotation).
+     */
+    const Instruction *
+    fetchNext() override
+    {
+        if (stagedHead_ == staged_.size())
+            return nullptr;
+        return &staged_[stagedHead_++];
+    }
+    bool supportsRuns() const override { return true; }
+    std::size_t stageRun(std::size_t n) override;
+
+    /** Bulk fetchNext(): consume staged instructions as one
+     *  contiguous span (valid until the next stage/fetch call). */
+    InstSpan
+    fetchSpan(std::size_t max) override
+    {
+        std::size_t n = std::min(max, staged_.size() - stagedHead_);
+        InstSpan s{staged_.data() + stagedHead_, n};
+        stagedHead_ += n;
+        return s;
+    }
+
     const WorkloadLayout &layout() const { return layout_; }
 
   private:
@@ -115,8 +143,13 @@ class ThreadedSource : public InstSource
     };
 
     Instruction filler(Hosted &h);
+    /** One synthesized instruction (the round-robin fetch() body). */
+    Instruction synthOne();
 
     std::vector<Hosted> hosted_;
+    /** Flat staged block (stageRun); see TraceGenerator::staged_. */
+    std::vector<Instruction> staged_;
+    std::size_t stagedHead_ = 0;
     std::size_t cur_ = 0;
     unsigned quantum_ = 64;
     unsigned left_ = 64;

@@ -8,6 +8,7 @@
 
 #include "trace/tracefile.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -733,13 +734,46 @@ TraceReader::Cursor::loadBlock()
 bool
 TraceReader::Cursor::next(Instruction &out)
 {
-    if (remaining_ == 0)
+    const Instruction *p = nextRef();
+    if (!p)
         return false;
+    out = *p;
+    return true;
+}
+
+const Instruction *
+TraceReader::Cursor::nextRef()
+{
+    if (remaining_ == 0)
+        return nullptr;
     while (i_ == recs_.size())
         loadBlock();
-    out = recs_[i_++];
     --remaining_;
-    return true;
+    return &recs_[i_++];
+}
+
+InstSpan
+TraceReader::Cursor::run(std::size_t max)
+{
+    if (remaining_ == 0)
+        return {};
+    while (i_ == recs_.size())
+        loadBlock();
+    std::size_t n = std::min(max, recs_.size() - i_);
+    InstSpan s{recs_.data() + i_, n};
+    i_ += n;
+    remaining_ -= n;
+    return s;
+}
+
+std::size_t
+TraceReader::Cursor::prepare(std::size_t n)
+{
+    if (remaining_ == 0)
+        return 0;
+    while (i_ == recs_.size())
+        loadBlock();
+    return std::min(n, recs_.size() - i_);
 }
 
 //
@@ -754,10 +788,10 @@ ReplaySource::ReplaySource(const TraceReader &reader, unsigned stream)
 const Instruction *
 ReplaySource::fetchNext()
 {
-    if (!cursor_.next(cur_))
-        return nullptr;
-    ++consumed_;
-    return &cur_;
+    const Instruction *p = cursor_.nextRef();
+    if (p)
+        ++consumed_;
+    return p;
 }
 
 Instruction

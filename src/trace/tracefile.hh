@@ -240,6 +240,23 @@ class TraceReader
          *  @return false at end of stream. */
         bool next(Instruction &out);
 
+        /** Consume the next record by reference: a pointer into the
+         *  decoded block, valid until the block is drained and another
+         *  record is requested. nullptr at end of stream. */
+        const Instruction *nextRef();
+
+        /** Consume up to @p max records as one contiguous span of the
+         *  decoded block (block-decode fast path: no per-record copy).
+         *  Spans never cross block boundaries; empty at end of
+         *  stream. Storage valid until the block is drained and
+         *  another record is requested. */
+        InstSpan run(std::size_t max);
+
+        /** Ensure the next records are decoded; @return how many are
+         *  ready to be served contiguously (min of @p n and the
+         *  current block's remainder; 0 at end of stream). */
+        std::size_t prepare(std::size_t n);
+
         std::uint64_t remaining() const { return remaining_; }
 
       private:
@@ -295,13 +312,31 @@ class ReplaySource : public InstSource
     const Instruction *fetchNext() override;
     bool supportsRuns() const override { return true; }
 
+    /** Records are pre-decoded per block; staging just makes sure the
+     *  next block is decoded (a hint — the consumed stream is
+     *  identical either way). */
+    std::size_t
+    stageRun(std::size_t n) override
+    {
+        return cursor_.prepare(n);
+    }
+
+    /** Bulk fetchNext(): serve a contiguous run of decoded records
+     *  straight from the block buffer, no per-record copy. */
+    InstSpan
+    fetchSpan(std::size_t max) override
+    {
+        InstSpan s = cursor_.run(max);
+        consumed_ += s.count;
+        return s;
+    }
+
     /** Records consumed so far. */
     std::uint64_t consumed() const { return consumed_; }
     std::uint64_t remaining() const { return cursor_.remaining(); }
 
   private:
     TraceReader::Cursor cursor_;
-    Instruction cur_;
     unsigned stream_;
     std::uint64_t consumed_ = 0;
 };
@@ -342,11 +377,20 @@ class CaptureSource : public InstSource
     bool supportsRuns() const override { return inner_.supportsRuns(); }
 
     /** Staging happens in the inner source; the tee appends records at
-     *  consumption time (fetch/fetchNext), so capture order is
-     *  unaffected. */
+     *  consumption time (fetch/fetchNext/fetchSpan), so capture order
+     *  is unaffected. */
     std::size_t stageRun(std::size_t n) override
     {
         return inner_.stageRun(n);
+    }
+
+    InstSpan
+    fetchSpan(std::size_t max) override
+    {
+        InstSpan s = inner_.fetchSpan(max);
+        for (std::size_t i = 0; i < s.count; ++i)
+            writer_.append(stream_, s.data[i]);
+        return s;
     }
 
     /** Emit buffered records as a block (slice-barrier hook). */
