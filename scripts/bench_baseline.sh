@@ -6,12 +6,14 @@
 # events/s with the hard equality checks — bitwise for batched,
 # functional for run-grain — and the run-grain cycle decomposition)
 # plus trace_tool --bench (live vs capture vs replay events/s with the
-# hard replay bit-identity check, once per engine) and collects every
-# JSON line they emit into one file. Usage:
+# hard replay bit-identity check, once per engine) and the daemon
+# load harness (faded serving concurrent faded_client sessions over a
+# unix socket, sessions/s) and collects every JSON line they emit into
+# one file. Usage:
 #
 #   sh scripts/bench_baseline.sh [builddir] [outfile]
 #
-# Defaults: builddir=build, outfile=BENCH_pr9.json. Numbers are only
+# Defaults: builddir=build, outfile=BENCH_pr10.json. Numbers are only
 # comparable on the same host under the same load — see
 # docs/BENCHMARKS.md for the measurement protocol. Both micro harnesses
 # report the median of their in-harness repetitions (after a discarded
@@ -20,9 +22,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 builddir=${1:-build}
-out=${2:-BENCH_pr9.json}
+out=${2:-BENCH_pr10.json}
 
-for bin in micro_trace micro_pipeline trace_tool; do
+for bin in micro_trace micro_pipeline trace_tool faded faded_client; do
     if [ ! -x "$builddir/$bin" ]; then
         echo "missing $builddir/$bin — build first:" >&2
         echo "  cmake -B $builddir -S . && cmake --build $builddir -j" >&2
@@ -43,6 +45,19 @@ echo "== trace_tool --bench (replay vs live, bit-identity checked) =="
 for engine in percycle batched rungrain; do
     "$builddir/trace_tool" --bench --engine "$engine" | tee -a "$tmp"
 done
+
+echo "== faded session throughput (8 sessions, 4 concurrent clients) =="
+sockdir=$(mktemp -d /tmp/faded_bench_XXXXXX)
+"$builddir/faded" --socket "$sockdir/d.sock" --max-sessions 8 \
+    --workers 2 > /dev/null 2>&1 &
+daemon_pid=$!
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$sockdir"; \
+      rm -f "$tmp"' EXIT
+"$builddir/faded_client" --socket "$sockdir/d.sock" \
+    --monitor MemLeak --profile bzip --warm 1000 --instr 10000 \
+    --sessions 8 --concurrency 4 | tee -a "$tmp"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
 
 grep '^{' "$tmp" > "$out"
 echo "wrote $(grep -c . "$out") JSON lines to $out"

@@ -243,32 +243,83 @@ MultiCoreSystem::functionalFingerprint()
 }
 
 void
-MultiCoreSystem::warmup(std::uint64_t instructions)
+MultiCoreSystem::beginWarmup(std::uint64_t instructions)
 {
+    panic_if(phase_ != Phase::Idle, "beginWarmup() with a phase active");
     capturedWarmup_ += instructions;
-    sched_->run(instructions, "warmup");
+    sched_->beginRun(instructions, "warmup");
+    phase_ = Phase::Warmup;
+}
+
+bool
+MultiCoreSystem::advanceRun(std::uint64_t maxEpochs)
+{
+    panic_if(phase_ == Phase::Idle, "advanceRun() with no phase armed");
+    return sched_->stepEpochs(maxEpochs);
+}
+
+void
+MultiCoreSystem::finishWarmup()
+{
+    panic_if(phase_ != Phase::Warmup || sched_->runActive(),
+             "finishWarmup() before the warmup target was reached");
     for (auto &s : shards_)
         s->drain();
     for (auto &s : shards_)
         s->resetStats();
     dir_.resetStats();
+    phase_ = Phase::Idle;
 }
 
-MultiCoreResult
-MultiCoreSystem::run(std::uint64_t instructions)
+std::uint64_t
+MultiCoreSystem::retiredTotal() const
 {
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->retired();
+    return n;
+}
+
+std::uint64_t
+MultiCoreSystem::producedTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->produced();
+    return n;
+}
+
+void
+MultiCoreSystem::warmup(std::uint64_t instructions)
+{
+    beginWarmup(instructions);
+    while (!advanceRun(~std::uint64_t(0))) {
+    }
+    finishWarmup();
+}
+
+void
+MultiCoreSystem::beginMeasure(std::uint64_t instructions)
+{
+    panic_if(phase_ != Phase::Idle, "beginMeasure() with a phase active");
     capturedRun_ += instructions;
-    std::vector<std::size_t> reportsBefore(shards_.size(), 0);
+    reportsBefore_.assign(shards_.size(), 0);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         shards_[i]->beginSlice();
         sched_->runner(unsigned(i)).resetRouteStats();
         if (monitors_[i])
-            reportsBefore[i] = monitors_[i]->reports().size();
+            reportsBefore_[i] = monitors_[i]->reports().size();
     }
     dir_.resetStats();
+    sched_->beginRun(instructions, "run");
+    phase_ = Phase::Measure;
+}
 
-    sched_->run(instructions, "run");
-
+MultiCoreResult
+MultiCoreSystem::finishMeasure()
+{
+    panic_if(phase_ != Phase::Measure || sched_->runActive(),
+             "finishMeasure() before the measure target was reached");
     MultiCoreResult agg;
     double ipcSum = 0.0;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -281,7 +332,7 @@ MultiCoreSystem::run(std::uint64_t instructions)
         sr.eqOccupancy = shards_[i]->eventQueue().occupancy();
         if (monitors_[i])
             sr.bugReports =
-                monitors_[i]->reports().size() - reportsBefore[i];
+                monitors_[i]->reports().size() - reportsBefore_[i];
         sr.cluster = shardClusters_[i];
         const DirectoryPortStats &route =
             sched_->runner(unsigned(i)).routeStats();
@@ -304,7 +355,17 @@ MultiCoreSystem::run(std::uint64_t instructions)
     agg.meanShardIpc =
         shards_.empty() ? 0.0 : ipcSum / double(shards_.size());
     agg.filteringRatio = agg.fade.filteringRatio();
+    phase_ = Phase::Idle;
     return agg;
+}
+
+MultiCoreResult
+MultiCoreSystem::run(std::uint64_t instructions)
+{
+    beginMeasure(instructions);
+    while (!advanceRun(~std::uint64_t(0))) {
+    }
+    return finishMeasure();
 }
 
 void

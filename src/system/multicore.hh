@@ -172,6 +172,37 @@ class MultiCoreSystem
     MultiCoreResult run(std::uint64_t instructions);
 
     /**
+     * Resumable phase protocol — warmup() and run() split into arm /
+     * advance / finish so an external driver (the monitoring daemon's
+     * session pool) can interleave many systems at slice-epoch
+     * granularity. Results are bit-identical to the monolithic calls:
+     * advanceRun() executes exactly the epochs the one-shot loop would
+     * have (ShardScheduler::stepEpochs), and the finish step performs
+     * the very same drain/reset (warmup) or aggregation (measure).
+     *
+     *   beginWarmup(w); while (!advanceRun(k)) ...; finishWarmup();
+     *   beginMeasure(m); while (!advanceRun(k)) ...;
+     *   MultiCoreResult r = finishMeasure();
+     *
+     * One phase may be active at a time; warmup()/run() are these
+     * calls composed.
+     */
+    void beginWarmup(std::uint64_t instructions);
+    void beginMeasure(std::uint64_t instructions);
+    /** Advance the armed phase by at most @p maxEpochs slice epochs;
+     *  true when the phase's instruction target is reached. */
+    bool advanceRun(std::uint64_t maxEpochs);
+    void finishWarmup();
+    MultiCoreResult finishMeasure();
+
+    /** App instructions retired across all shards since the current
+     *  phase's statistics baseline (progress reporting). */
+    std::uint64_t retiredTotal() const;
+    /** Monitored events produced across all shards since the same
+     *  baseline. */
+    std::uint64_t producedTotal() const;
+
+    /**
      * Drain every shard, then concatenate the shards' engine-invariant
      * functional fingerprints (MonitoringSystem::functionalFingerprint
      * — retirement/event counts, filter verdicts, handler work,
@@ -232,7 +263,18 @@ class MultiCoreSystem
   private:
     void finishTrace(bool hasResult, std::uint64_t resultHash);
 
+    /** Active resumable phase (beginWarmup/beginMeasure). */
+    enum class Phase : std::uint8_t
+    {
+        Idle,
+        Warmup,
+        Measure,
+    };
+
     MultiCoreConfig cfg_;
+    Phase phase_ = Phase::Idle;
+    /** Monitor report counts at beginMeasure() (per-shard deltas). */
+    std::vector<std::size_t> reportsBefore_;
     std::unique_ptr<TraceReader> reader_;
     std::unique_ptr<TraceWriter> writer_;
     /** Instructions driven so far (recorded in the capture manifest). */

@@ -196,9 +196,12 @@ ShardScheduler::runEpoch()
 }
 
 void
-ShardScheduler::run(std::uint64_t instructions, const char *what)
+ShardScheduler::beginRun(std::uint64_t instructions, const char *what)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    panic_if(running_, "beginRun() while a run is already armed");
+    runT0_ = std::chrono::steady_clock::now();
+    what_ = what;
+    cycleLimit_ = sliceCycleLimit(instructions);
     if (cfg_.policy == SchedulerPolicy::ParallelBatched)
         startWorkers();
 
@@ -208,8 +211,13 @@ ShardScheduler::run(std::uint64_t instructions, const char *what)
         r->attach();
     for (auto &r : runners_)
         r->beginEpoch();
+    running_ = true;
+}
 
-    const std::uint64_t limit = sliceCycleLimit(instructions);
+bool
+ShardScheduler::stepEpochs(std::uint64_t maxEpochs)
+{
+    panic_if(!running_, "stepEpochs() without an armed run");
     auto left = [&] {
         unsigned n = 0;
         for (auto &r : runners_)
@@ -218,22 +226,35 @@ ShardScheduler::run(std::uint64_t instructions, const char *what)
         return n;
     };
 
-    for (unsigned n = left(); n != 0; n = left()) {
+    unsigned n = left();
+    for (std::uint64_t e = 0; n != 0 && e < maxEpochs; ++e, n = left()) {
         for (auto &r : runners_)
-            panic_if(!r->done() && r->ticksUsed() >= limit,
-                     "multi-core ", what, " failed to make progress");
+            panic_if(!r->done() && r->ticksUsed() >= cycleLimit_,
+                     "multi-core ", what_, " failed to make progress");
         auto e0 = std::chrono::steady_clock::now();
         runEpoch();
         stats_.epochWall.sample(secondsSince(e0));
         ++stats_.epochs;
         stats_.slices += n;
     }
+    if (n != 0)
+        return false;
 
     for (auto &r : runners_) {
         r->detach();
         stats_.ticks += r->ticksUsed();
     }
-    stats_.wallSeconds += secondsSince(t0);
+    stats_.wallSeconds += secondsSince(runT0_);
+    running_ = false;
+    return true;
+}
+
+void
+ShardScheduler::run(std::uint64_t instructions, const char *what)
+{
+    beginRun(instructions, what);
+    while (!stepEpochs(~std::uint64_t(0))) {
+    }
 }
 
 } // namespace fade

@@ -39,6 +39,7 @@
 #ifndef FADE_SYSTEM_SCHEDULER_HH
 #define FADE_SYSTEM_SCHEDULER_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -201,8 +202,33 @@ class ShardScheduler
      * slicing and merging per the policy. Panics (like the legacy
      * lockstep loop) if a shard exceeds sliceCycleLimit() without
      * reaching its target. @p what names the phase in diagnostics.
+     * Equivalent to beginRun() + stepEpochs(until done).
      */
     void run(std::uint64_t instructions, const char *what);
+
+    /**
+     * Resumable form of run(): arm a run toward @p instructions more
+     * retired instructions per shard, then advance it with
+     * stepEpochs(). Epoch boundaries — and therefore every simulated
+     * value — are identical whether the run is stepped in one call or
+     * many: stepEpochs(k) executes exactly the first k epochs the
+     * monolithic loop would have. The monitoring daemon interleaves
+     * many sessions this way, yielding between sessions at epoch
+     * granularity (daemon/sessionpool.hh).
+     */
+    void beginRun(std::uint64_t instructions, const char *what);
+
+    /**
+     * Execute at most @p maxEpochs slice epochs of the armed run.
+     * @return true when every shard has reached its target (the run is
+     * finished and detached; wall-clock accounting is folded into
+     * stats()). Panics if called without an armed run.
+     */
+    bool stepEpochs(std::uint64_t maxEpochs);
+
+    /** An armed run has not finished yet (beginRun() called, last
+     *  stepEpochs() returned false). */
+    bool runActive() const { return running_; }
 
     const SchedulerConfig &config() const { return cfg_; }
     const SchedulerStats &stats() const { return stats_; }
@@ -222,6 +248,12 @@ class ShardScheduler
     SchedulerConfig cfg_;
     std::vector<std::unique_ptr<ShardRunner>> runners_;
     SchedulerStats stats_;
+
+    /** Armed-run state (beginRun()/stepEpochs()). */
+    bool running_ = false;
+    const char *what_ = "";
+    std::uint64_t cycleLimit_ = 0;
+    std::chrono::steady_clock::time_point runT0_;
 
     /** Worker pool (ParallelBatched only; empty until first use). */
     std::vector<std::thread> workers_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "trace/wire.hh"
 
 namespace fade
 {
@@ -43,170 +44,23 @@ constexpr std::uint8_t f1HasTruth = 1 << 5;
 constexpr std::uint8_t f1TidChanged = 1 << 6;
 constexpr std::uint8_t f1Mispredict = 1 << 7;
 
-/** IEEE CRC32 (reflected, poly 0xEDB88320), table-driven. */
-const std::uint32_t *
-crcTable()
+using wire::Enc;
+using wire::crc32;
+
+/** wire::Dec bound to the trace reader's error contract: every decode
+ *  failure surfaces as TraceError with the "trace <region>: ..."
+ *  diagnostic the reader documents. */
+[[noreturn]] void
+traceDecodeFail(const std::string &msg)
 {
-    static const auto table = [] {
-        static std::uint32_t t[256];
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int k = 0; k < 8; ++k)
-                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    return table;
+    throw TraceError("trace " + msg);
 }
 
-std::uint32_t
-crc32(const std::uint8_t *p, std::size_t n)
+struct Dec : wire::Dec
 {
-    const std::uint32_t *t = crcTable();
-    std::uint32_t c = 0xFFFFFFFFu;
-    for (std::size_t i = 0; i < n; ++i)
-        c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
-    return c ^ 0xFFFFFFFFu;
-}
-
-/**
- * Zigzag over two's-complement deltas held in uint64 (all delta
- * arithmetic stays unsigned-wrapping, so extreme addresses — 0,
- * 2^64 - 1 — never hit signed overflow).
- */
-std::uint64_t
-zigzag(std::uint64_t v)
-{
-    return (v << 1) ^ ((v >> 63) ? ~std::uint64_t(0) : 0);
-}
-
-std::uint64_t
-unzigzag(std::uint64_t v)
-{
-    return (v >> 1) ^ ((v & 1) ? ~std::uint64_t(0) : 0);
-}
-
-/** Byte-buffer encoder (LEB128 varints + fixed-width words). */
-struct Enc
-{
-    std::vector<std::uint8_t> out;
-
-    void u8(std::uint8_t v) { out.push_back(v); }
-
-    void
-    varint(std::uint64_t v)
-    {
-        while (v >= 0x80) {
-            out.push_back(std::uint8_t(v) | 0x80);
-            v >>= 7;
-        }
-        out.push_back(std::uint8_t(v));
-    }
-
-    /** Two's-complement delta in a uint64. */
-    void svarint(std::uint64_t delta) { varint(zigzag(delta)); }
-
-    void
-    fixed32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            out.push_back(std::uint8_t(v >> (8 * i)));
-    }
-
-    void
-    fixed64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            out.push_back(std::uint8_t(v >> (8 * i)));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        varint(s.size());
-        out.insert(out.end(), s.begin(), s.end());
-    }
-};
-
-/** Bounds-checked decoder over a byte range; throws TraceError on any
- *  overrun or malformed varint instead of reading past the end. */
-struct Dec
-{
-    const std::uint8_t *p;
-    const std::uint8_t *end;
-    const char *what; ///< region name for diagnostics
-
     Dec(const std::uint8_t *begin, std::size_t n, const char *region)
-        : p(begin), end(begin + n), what(region)
+        : wire::Dec(begin, n, region, &traceDecodeFail)
     {}
-
-    std::size_t remaining() const { return std::size_t(end - p); }
-
-    [[noreturn]] void
-    fail(const std::string &msg) const
-    {
-        throw TraceError("trace " + std::string(what) + ": " + msg);
-    }
-
-    std::uint8_t
-    u8()
-    {
-        if (p == end)
-            fail("truncated (need 1 byte)");
-        return *p++;
-    }
-
-    std::uint64_t
-    varint()
-    {
-        std::uint64_t v = 0;
-        for (unsigned shift = 0; shift < 64; shift += 7) {
-            if (p == end)
-                fail("truncated varint");
-            std::uint8_t b = *p++;
-            v |= std::uint64_t(b & 0x7F) << shift;
-            if (!(b & 0x80))
-                return v;
-        }
-        fail("varint longer than 64 bits");
-    }
-
-    /** Two's-complement delta in a uint64. */
-    std::uint64_t svarint() { return unzigzag(varint()); }
-
-    std::uint32_t
-    fixed32()
-    {
-        if (remaining() < 4)
-            fail("truncated u32");
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= std::uint32_t(*p++) << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    fixed64()
-    {
-        if (remaining() < 8)
-            fail("truncated u64");
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= std::uint64_t(*p++) << (8 * i);
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        std::uint64_t n = varint();
-        if (n > remaining())
-            fail("truncated string");
-        std::string s(reinterpret_cast<const char *>(p), std::size_t(n));
-        p += n;
-        return s;
-    }
 };
 
 /** Delta state, reset at every block boundary so blocks decode
